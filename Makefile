@@ -1,0 +1,36 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures table1 verify-all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+figures:
+	$(PYTHON) -m repro figures
+
+table1:
+	$(PYTHON) -m repro table1
+
+verify-all: test bench figures
+	@echo "everything green"
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis .benchmarks

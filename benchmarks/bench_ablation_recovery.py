@@ -1,0 +1,138 @@
+"""Ablation -- recovery work at scale.
+
+Regenerates the quantities behind the paper's headline claims as series:
+
+- rolled-back states per failure: Damani-Garg (minimal) vs coordinated
+  checkpointing (everything since the last snapshot) -- the Section 1
+  motivation;
+- recovery scales with n: tokens are the only recovery traffic, so
+  recovery-related messages grow linearly while rollback counts stay
+  bounded by the orphan set;
+- concurrent failures cost no more rollbacks per process than sequential
+  ones (the "handles concurrent failures" property).
+"""
+
+from benchmarks.conftest import run_standard
+from repro.analysis import check_recovery
+from repro.analysis.causality import build_ground_truth
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.reporting import format_table
+from repro.protocols.coordinated import CoordinatedProcess
+from repro.sim.failures import CrashPlan
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_bench_rollback_volume_vs_coordinated(benchmark, print_series):
+    """Optimistic logging rolls back orphans only; coordinated rollback
+    discards everything since the last global snapshot."""
+
+    def compare():
+        dg_undone = co_undone = dg_orphans = 0
+        for seed in SEEDS:
+            crashes = CrashPlan().crash(22.0, 1, 2.0)
+            dg = run_standard(
+                DamaniGargProcess, seed=seed, crashes=crashes, horizon=90.0
+            )
+            assert check_recovery(dg).ok
+            gt = build_ground_truth(dg.trace, 4)
+            dg_undone += len(gt.rolled_back)
+            dg_orphans += len(gt.orphans())
+
+            co = run_standard(
+                CoordinatedProcess, seed=seed, crashes=crashes, horizon=90.0
+            )
+            gt_co = build_ground_truth(co.trace, 4)
+            co_undone += len(gt_co.rolled_back)
+        return dg_undone, dg_orphans, co_undone
+
+    dg_undone, dg_orphans, co_undone = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    print_series(
+        "ablation: states rolled back per crash "
+        f"(sums over {len(SEEDS)} seeds)",
+        format_table(
+            ["protocol", "states rolled back", "actual orphans"],
+            [
+                ("Damani-Garg", dg_undone, dg_orphans),
+                ("coordinated checkpointing", co_undone, "n/a"),
+            ],
+        ),
+    )
+    assert dg_undone == dg_orphans            # minimal rollback
+    assert co_undone > dg_undone              # the motivation for optimism
+
+
+def test_bench_recovery_scaling_with_n(benchmark, print_series):
+    """Tokens (the only recovery traffic) grow linearly with n."""
+
+    def sweep():
+        rows = []
+        for n in (4, 8, 16):
+            result = run_standard(
+                DamaniGargProcess,
+                n=n,
+                seed=2,
+                crashes=CrashPlan().crash(20.0, 1, 2.0),
+                horizon=80.0,
+            )
+            assert check_recovery(result).ok
+            rows.append(
+                (
+                    n,
+                    result.total("tokens_sent"),
+                    result.total_rollbacks,
+                    result.max_rollbacks_for_single_failure(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "ablation: recovery traffic vs n (one crash)",
+        format_table(
+            ["n", "tokens sent", "processes rolled back", "max per failure"],
+            rows,
+        ),
+    )
+    for n, tokens, _rollbacks, per_failure in rows:
+        assert tokens == n - 1
+        assert per_failure <= 1
+
+
+def test_bench_concurrent_vs_sequential_failures(benchmark, print_series):
+    """Two concurrent crashes cost each process at most one rollback per
+    failure, exactly like two sequential crashes."""
+
+    def compare():
+        outcomes = []
+        for label, crashes in (
+            ("sequential", CrashPlan().crash(18.0, 0, 2.0).crash(36.0, 2, 2.0)),
+            ("concurrent", CrashPlan().concurrent(25.0, [0, 2], 3.0)),
+        ):
+            worst = total = 0
+            for seed in SEEDS:
+                result = run_standard(
+                    DamaniGargProcess,
+                    seed=seed,
+                    crashes=crashes,
+                    horizon=100.0,
+                )
+                assert check_recovery(result).ok
+                worst = max(worst, result.max_rollbacks_for_single_failure())
+                total += result.total_rollbacks
+            outcomes.append((label, worst, total))
+        return outcomes
+
+    outcomes = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_series(
+        "ablation: two crashes, sequential vs concurrent "
+        f"(over {len(SEEDS)} seeds)",
+        format_table(
+            ["schedule", "max rollbacks per failure", "total rollbacks"],
+            outcomes,
+        ),
+    )
+    for _label, worst, _total in outcomes:
+        assert worst <= 1

@@ -1,0 +1,63 @@
+"""Figure 1 -- the worked computation with every FTVC box verified.
+
+The scenario drives the real protocol stack through the exact message
+pattern of Figure 1 (P1 fails having logged only m1; s12 is lost; s22 on
+P2 becomes an orphan) and asserts every clock value printed in the figure.
+"""
+
+from repro.analysis import check_recovery
+from repro.analysis.causality import build_ground_truth
+from repro.core.ftvc import FaultTolerantVectorClock as FTVC
+from repro.harness.scenarios import figure1
+
+
+def test_bench_figure1_scenario(benchmark):
+    result = benchmark(figure1)
+
+    # Every FTVC box of the figure, against the protocol's real clocks.
+    recorded = set()
+    for protocol in result.protocols:
+        recorded.update(c.pairs() for c in protocol.clock_by_uid.values())
+    for name in ("s11", "s12", "s22", "r10", "r20"):
+        assert result.notes[name] in recorded, name
+    assert result.protocols[1].clock.pairs() == result.notes["p1_after_m0"]
+    assert result.protocols[2].clock.pairs() == result.notes["r20"]
+
+    # The figure's failure story: s12 lost, s22 orphaned and rolled back.
+    gt = build_ground_truth(result.trace, 3)
+    assert len(gt.lost) == 1
+    assert len(gt.orphans()) == 1
+    assert gt.rolled_back == gt.orphans()
+    assert check_recovery(result).ok
+
+    # The paper's closing remark on Figure 1: the clock misorders
+    # non-useful states (r20.c < s22.c although r20 !-> s22).
+    assert FTVC.of(result.notes["r20"]) < FTVC.of(result.notes["s22"])
+
+    benchmark.extra_info["lost"] = len(gt.lost)
+    benchmark.extra_info["orphans"] = len(gt.orphans())
+
+
+def test_bench_figure1_clock_algebra(benchmark):
+    """Micro-benchmark of the FTVC operations Figure 2 defines, at the
+    figure's scale (n = 3)."""
+    m1 = FTVC.initial(0, 3)
+
+    def clock_walk():
+        p0 = FTVC.initial(0, 3)
+        p1 = FTVC.initial(1, 3)
+        p2 = FTVC.initial(2, 3)
+        for _ in range(100):
+            message = p0
+            p0 = p0.tick(0)
+            p1 = p1.merge(message).tick(1)
+            message = p1
+            p1 = p1.tick(1)
+            p2 = p2.merge(message).tick(2)
+        p1 = p1.restart(1)
+        p2 = p2.tick(2)
+        return p0, p1, p2
+
+    p0, p1, p2 = benchmark(clock_walk)
+    assert p1[1].version == 1
+    assert p0 < p2 or p0.concurrent_with(p2)

@@ -1,0 +1,105 @@
+"""The Alvisi-Marzullo taxonomy (paper ref [2]): pessimistic vs optimistic
+vs causal message logging, measured head to head.
+
+One crash, identical workloads; each family pays in a different currency:
+
+=============  ====================  ===============  =================
+family         failure-free cost     failure cost     recovery needs
+=============  ====================  ===============  =================
+pessimistic    sync write / receive  none             nobody
+optimistic     ~none                 orphans, tokens  nobody (async)
+causal         fat piggyback         none (orphans    the peers
+                                     impossible)
+=============  ====================  ===============  =================
+"""
+
+from repro.analysis import check_recovery, recovery_latencies
+from repro.analysis.causality import build_ground_truth
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.reporting import format_table
+from repro.protocols import (
+    CausalLoggingProcess,
+    PessimisticReceiverProcess,
+)
+from repro.sim.failures import CrashPlan
+
+from benchmarks.conftest import run_standard
+
+SEEDS = (0, 1, 2, 3, 4)
+FAMILIES = [
+    ("pessimistic (receiver log)", PessimisticReceiverProcess),
+    ("optimistic (Damani-Garg)", DamaniGargProcess),
+    ("causal logging", CausalLoggingProcess),
+]
+
+
+def measure(protocol):
+    sync = piggyback = sent = lost = orphans = rollbacks = 0
+    resume = 0.0
+    for seed in SEEDS:
+        result = run_standard(
+            protocol, seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0)
+        )
+        assert check_recovery(result).ok
+        gt = build_ground_truth(result.trace, 4)
+        sync += result.total("sync_log_writes")
+        piggyback += result.total("piggyback_entries")
+        sent += result.total("app_sent")
+        lost += len(gt.lost)
+        orphans += len(gt.orphans())
+        rollbacks += result.total_rollbacks
+        (latency,) = recovery_latencies(result)
+        resume += latency.restart_latency
+    return {
+        "sync": sync,
+        "piggyback": piggyback / max(1, sent),
+        "lost": lost,
+        "orphans": orphans,
+        "rollbacks": rollbacks,
+        "resume": resume / len(SEEDS),
+    }
+
+
+def test_bench_logging_taxonomy(benchmark, print_series):
+    def battery():
+        return {name: measure(protocol) for name, protocol in FAMILIES}
+
+    results = benchmark.pedantic(battery, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            m["sync"],
+            f"{m['piggyback']:.1f}",
+            m["lost"],
+            m["orphans"],
+            m["rollbacks"],
+            f"{m['resume']:.2f}",
+        )
+        for name, m in results.items()
+    ]
+    print_series(
+        f"message-logging taxonomy, one crash ({len(SEEDS)} seeds, sums)",
+        format_table(
+            ["family", "sync writes", "piggyback/msg", "lost states",
+             "orphans", "rollbacks", "resume latency"],
+            rows,
+        ),
+    )
+    pess = results["pessimistic (receiver log)"]
+    opt = results["optimistic (Damani-Garg)"]
+    causal = results["causal logging"]
+
+    # Pessimistic: pays a sync write per delivery, loses nothing.
+    assert pess["sync"] > 100
+    assert pess["lost"] == pess["orphans"] == pess["rollbacks"] == 0
+    # Optimistic: sync writes only for tokens ((n-1) per failure), the
+    # cheapest piggyback, and it pays in orphans.
+    assert opt["sync"] == 3 * len(SEEDS)
+    assert opt["lost"] > 0 and opt["orphans"] > 0 and opt["rollbacks"] > 0
+    assert opt["piggyback"] < causal["piggyback"]
+    # Causal: no sync writes, no orphans, no rollbacks -- pays piggyback
+    # and peer-assisted (slower) recovery.
+    assert causal["sync"] == 0
+    assert causal["orphans"] == causal["rollbacks"] == 0
+    assert causal["lost"] <= 3           # only determinant-less tails
+    assert causal["resume"] > opt["resume"]

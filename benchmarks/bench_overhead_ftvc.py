@@ -1,0 +1,102 @@
+"""Section 6.9 item 1 -- the FTVC piggyback overhead.
+
+The paper: "The protocol tags a FTVC to every application message ...
+The protocol adds log f bits to each timestamp in vector clock.  Since we
+expect the number of failures to be small, log f should be small."
+
+Regenerated series:
+
+- piggyback entries per message vs n (must be exactly n -- O(n));
+- estimated wire bits per message vs the failure count f of a single
+  process (must grow like n * log2(f), i.e. a few bits per entry, not a
+  new entry per failure -- the difference against Smith-Johnson-Tygar).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_series, run_standard
+from repro.analysis import measure_overhead
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.reporting import format_table
+from repro.sim.failures import CrashPlan
+
+NS = (2, 4, 8, 16, 32)
+
+
+def test_bench_piggyback_entries_vs_n(benchmark, print_series):
+    """Entries per message == n for every n: the O(n) claim."""
+
+    def sweep():
+        rows = []
+        for n in NS:
+            result = run_standard(DamaniGargProcess, n=n, horizon=60.0)
+            report = measure_overhead(result)
+            rows.append(
+                (n, f"{report.piggyback_entries_per_message:.1f}",
+                 f"{report.piggyback_bits_per_message:.0f}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "6.9-1: FTVC piggyback vs n (failure-free)",
+        format_table(["n", "entries/msg", "bits/msg"], rows),
+    )
+    for (n, entries, _bits) in rows:
+        assert float(entries) == float(n)
+
+
+def test_bench_piggyback_bits_vs_failures(benchmark, print_series):
+    """Version bits grow like log2(f): f failures of one process must add
+    only ~log2(f) bits per entry, never new entries."""
+
+    def sweep():
+        rows = []
+        for f in (0, 1, 3, 7):
+            plan = CrashPlan()
+            for k in range(f):
+                plan.crash(10.0 + 9.0 * k, 1, downtime=1.5)
+            result = run_standard(
+                DamaniGargProcess, n=4, crashes=plan, horizon=100.0
+            )
+            report = measure_overhead(result)
+            rows.append(
+                (
+                    f,
+                    f"{report.piggyback_entries_per_message:.1f}",
+                    f"{report.piggyback_bits_per_message:.1f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "6.9-1: FTVC wire size vs failures f of one process (n=4)",
+        format_table(["f", "entries/msg", "bits/msg"], rows),
+    )
+    entries = [float(e) for _f, e, _b in rows]
+    bits = [float(b) for _f, _e, b in rows]
+    # Entries never grow with f...
+    assert all(e == entries[0] for e in entries)
+    # ...and bits grow by at most n * ceil(log2(f+1)) over the baseline.
+    n = 4
+    for (f, _e, _b), measured in zip(rows, bits):
+        bound = bits[0] + n * max(1, math.ceil(math.log2(f + 1)) if f else 0)
+        assert measured <= bound + 1e-9
+
+
+@pytest.mark.parametrize("n", NS)
+def test_bench_clock_merge_scaling(benchmark, n):
+    """Micro-benchmark: one receive-side clock update (merge + tick) at
+    width n -- the per-message CPU cost of the piggyback."""
+    from repro.core.ftvc import FaultTolerantVectorClock as FTVC
+
+    mine = FTVC.initial(0, n)
+    for j in range(n):
+        mine = mine.tick(0)
+    theirs = FTVC.initial(n - 1, n).tick(n - 1)
+
+    result = benchmark(lambda: mine.merge(theirs).tick(0))
+    assert result[0].timestamp > mine[0].timestamp

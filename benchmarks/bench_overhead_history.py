@@ -1,0 +1,89 @@
+"""Section 6.9 item 3 -- history memory.
+
+The paper: "There are at most f versions of a process and there is one
+entry for each version of a process in the history.  So the size of the
+history is O(nf).  The history is maintained in relatively inexpensive
+main memory."
+
+Regenerated series: the largest history (records held) across processes,
+swept over n and over the failure count, asserted against the n*(f+1)
+bound.
+"""
+
+from benchmarks.conftest import run_standard
+from repro.analysis import measure_overhead
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.reporting import format_table
+from repro.sim.failures import CrashPlan
+
+
+def test_bench_history_size_vs_n(benchmark, print_series):
+    def sweep():
+        rows = []
+        for n in (2, 4, 8, 16):
+            result = run_standard(
+                DamaniGargProcess,
+                n=n,
+                crashes=CrashPlan().crash(20.0, 1, 2.0),
+                horizon=80.0,
+            )
+            report = measure_overhead(result)
+            rows.append(
+                (n, report.history_records_max, report.history_bound)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "6.9-3: history records vs n (one failure)",
+        format_table(["n", "max records", "n*(f+1) bound"], rows),
+    )
+    for _n, records, bound in rows:
+        assert records <= bound
+
+
+def test_bench_history_size_vs_failures(benchmark, print_series):
+    def sweep():
+        rows = []
+        for failures in (0, 1, 2, 4, 6):
+            plan = CrashPlan()
+            for k in range(failures):
+                plan.crash(10.0 + 10.0 * k, 1 + (k % 3), downtime=1.5)
+            result = run_standard(
+                DamaniGargProcess, n=4, crashes=plan, horizon=100.0
+            )
+            report = measure_overhead(result)
+            rows.append(
+                (failures, report.history_records_max, report.history_bound)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "6.9-3: history records vs failures (n=4)",
+        format_table(["failures", "max records", "n*(f+1) bound"], rows),
+    )
+    for _f, records, bound in rows:
+        assert records <= bound
+    # Growth is (at most) linear in f, not quadratic: per extra failure the
+    # table gains at most one record per process.
+    sizes = [records for _f, records, _b in rows]
+    assert sizes[-1] - sizes[0] <= 4 * 6
+
+
+def test_bench_history_lookup_cost(benchmark):
+    """The obsolete test runs on every receive: keep it O(n)."""
+    from repro.core.ftvc import FaultTolerantVectorClock as FTVC
+    from repro.core.history import History
+    from repro.core.tokens import RecoveryToken
+
+    n = 32
+    history = History(0, n)
+    for j in range(1, n):
+        for version in range(3):
+            history.observe_token(RecoveryToken(j, version, 10 * version))
+    # Entry (2, 25) exceeds the version-2 restoration point (20): obsolete.
+    clock = FTVC.of([(2, 25)] * n)
+
+    verdict = benchmark(history.is_obsolete, clock)
+    assert verdict is True

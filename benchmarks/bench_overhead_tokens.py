@@ -1,0 +1,77 @@
+"""Section 6.9 item 2 -- token broadcast overhead.
+
+The paper: "A token is broadcast only when a process fails.  The size of a
+token is equal to just one entry of vector clock.  So broadcasting
+overhead is low."  And: "Except application messages, the protocol causes
+no extra messages to be sent during failure-free run."
+
+Regenerated series: control messages vs number of failures (must be
+exactly (n-1) per failure and zero without failures), and token size.
+"""
+
+from benchmarks.conftest import run_standard
+from repro.analysis import measure_overhead
+from repro.core.recovery import DamaniGargProcess
+from repro.core.tokens import RecoveryToken
+from repro.harness.reporting import format_table
+from repro.sim.failures import CrashPlan
+
+
+def test_bench_tokens_vs_failures(benchmark, print_series):
+    def sweep():
+        rows = []
+        for failures in (0, 1, 2, 4):
+            plan = CrashPlan()
+            pids = [1, 2, 3, 1]
+            for k in range(failures):
+                plan.crash(12.0 + 14.0 * k, pids[k], downtime=1.5)
+            result = run_standard(
+                DamaniGargProcess, n=4, crashes=plan, horizon=100.0
+            )
+            report = measure_overhead(result)
+            rows.append(
+                (
+                    failures,
+                    report.app_messages,
+                    report.control_messages,
+                    f"{report.control_messages_per_failure:.0f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "6.9-2: control traffic vs failures (n=4)",
+        format_table(
+            ["failures", "app msgs", "control msgs", "control/failure"], rows
+        ),
+    )
+    assert rows[0][2] == 0                      # failure-free: zero
+    for failures, _app, control, _ratio in rows[1:]:
+        assert control == failures * 3          # (n-1) per failure
+
+
+def test_bench_token_size_is_one_entry(benchmark):
+    token = RecoveryToken(origin=2, version=1, timestamp=99)
+    entries = benchmark(token.piggyback_entries)
+    assert entries == 1
+
+
+def test_bench_token_handling_cost(benchmark):
+    """Receive-token path: synchronous log + orphan test + record install
+    (the per-token work at a non-orphan process)."""
+    from repro.core.ftvc import FaultTolerantVectorClock as FTVC
+    from repro.core.history import History
+
+    def token_path():
+        history = History(0, 8)
+        history.observe_message_clock(
+            FTVC.of([(0, 5)] * 8)
+        )
+        token = RecoveryToken(3, 0, 9)
+        orphan = history.orphaned_by(token)
+        history.observe_token(token)
+        return orphan
+
+    orphan = benchmark(token_path)
+    assert orphan is False

@@ -1,0 +1,107 @@
+"""Recovery latency across protocols -- the asynchrony claim, in time.
+
+For one crash with fixed downtime D = 2.0:
+
+- **resume latency** -- crash until the failed process is computing again
+  (restart latency plus any post-restart waiting the protocol imposes);
+- **settle latency** -- crash until the last recovery action anywhere
+  (peer rollbacks, recovery sessions).
+
+Asynchronous protocols resume in exactly D; protocols that need their
+peers (sender-based retrieval, Sistla-Welch sessions, Peterson-Kearns
+ack waves) pay more, which is Table 1's "asynchronous recovery" column
+expressed in virtual time.
+"""
+
+from repro.analysis import check_recovery, recovery_latencies
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.reporting import format_table
+from repro.protocols import (
+    PessimisticReceiverProcess,
+    PetersonKearnsProcess,
+    SenderBasedProcess,
+    SistlaWelchProcess,
+    SmithJohnsonTygarProcess,
+    StromYeminiProcess,
+)
+from repro.sim.failures import CrashPlan
+
+from benchmarks.conftest import run_standard
+
+DOWNTIME = 2.0
+SEEDS = (0, 1, 2, 3)
+PROTOCOLS = [
+    DamaniGargProcess,
+    SmithJohnsonTygarProcess,
+    StromYeminiProcess,
+    PessimisticReceiverProcess,
+    SenderBasedProcess,
+    SistlaWelchProcess,
+    PetersonKearnsProcess,
+]
+
+
+def measure(protocol):
+    resume_total = settle_total = 0.0
+    for seed in SEEDS:
+        result = run_standard(
+            protocol,
+            seed=seed,
+            crashes=CrashPlan().crash(20.0, 1, DOWNTIME),
+        )
+        strict = protocol is not StromYeminiProcess
+        verdict = check_recovery(
+            result,
+            expect_minimal_rollback=strict,
+            expect_maximum_recovery=strict,
+            expect_single_rollback_per_failure=strict,
+        )
+        assert verdict.ok, (protocol.name, verdict.violations)
+        (latency,) = recovery_latencies(result)
+        resume = latency.restart_latency
+        if protocol in (PetersonKearnsProcess, SistlaWelchProcess):
+            # These record RESTART at restore time and then wait (PK's ack
+            # wave, SW's recovery session) before resuming; that wait is
+            # the failed process's blocked_time -- its only blocking.
+            # JZ's RESTART is already at completion, and its blocked_time
+            # is failure-free send blocking, not recovery.
+            resume += result.protocols[1].stats.blocked_time
+        resume_total += resume
+        settle_total += latency.settle_latency
+    return resume_total / len(SEEDS), settle_total / len(SEEDS)
+
+
+def test_bench_recovery_latency(benchmark, print_series):
+    def battery():
+        rows = []
+        for protocol in PROTOCOLS:
+            resume, settle = measure(protocol)
+            rows.append(
+                (protocol.name, f"{resume:.2f}", f"{settle:.2f}",
+                 "yes" if protocol.asynchronous_recovery else "no")
+            )
+        return rows
+
+    rows = benchmark.pedantic(battery, rounds=1, iterations=1)
+    print_series(
+        f"recovery latency, one crash, downtime={DOWNTIME} "
+        f"(means over {len(SEEDS)} seeds)",
+        format_table(
+            ["protocol", "resume", "settle", "async (claimed)"], rows
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+
+    # Asynchronous protocols resume in exactly the downtime.
+    for name in ("Damani-Garg", "Smith-Johnson-Tygar", "Strom-Yemini",
+                 "Pessimistic receiver log"):
+        assert float(by_name[name][1]) == DOWNTIME, name
+    # Peer-dependent protocols resume strictly later.
+    for name in ("Sender-based (Johnson-Zwaenepoel)", "Peterson-Kearns",
+                 "Sistla-Welch"):
+        assert float(by_name[name][1]) > DOWNTIME, name
+    # The synchronous session is the slowest way to settle.
+    assert (
+        float(by_name["Sistla-Welch"][2])
+        > float(by_name["Damani-Garg"][2])
+    )

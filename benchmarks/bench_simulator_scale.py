@@ -1,0 +1,80 @@
+"""Simulator-scale benchmarks: how large a system the substrate handles.
+
+Not a paper figure -- these measure the reproduction's own machinery so
+users know what experiment sizes are practical: events/second of the
+kernel, end-to-end runs at n = 32, and the oracle's reconstruction cost.
+"""
+
+from repro.analysis import check_recovery
+from repro.analysis.causality import build_ground_truth
+from repro.apps import RandomRoutingApp
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.sim.failures import CrashPlan
+from repro.sim.kernel import Simulator
+
+
+def test_bench_kernel_event_rate(benchmark):
+    """Raw kernel throughput: schedule + fire a chain of events."""
+
+    def chain():
+        sim = Simulator()
+        count = 0
+
+        def hop():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.01, hop)
+
+        sim.schedule(0.0, hop)
+        sim.run()
+        return count
+
+    fired = benchmark(chain)
+    assert fired == 10_000
+
+
+def test_bench_n32_recovery_run(benchmark):
+    """A full 32-process run with two crashes, oracle included."""
+    spec = ExperimentSpec(
+        n=32,
+        app=RandomRoutingApp(hops=60, seeds=tuple(range(8)),
+                             initial_items=2),
+        protocol=DamaniGargProcess,
+        crashes=CrashPlan().crash(20.0, 5, 2.0).crash(40.0, 17, 2.0),
+        seed=3,
+        horizon=100.0,
+        config=ProtocolConfig(checkpoint_interval=10.0, flush_interval=3.0),
+    )
+
+    def run_and_check():
+        result = run_experiment(spec)
+        verdict = check_recovery(result)
+        assert verdict.ok, verdict.violations
+        return result
+
+    result = benchmark.pedantic(run_and_check, rounds=1, iterations=1)
+    assert result.total_delivered > 200
+    benchmark.extra_info["delivered"] = result.total_delivered
+    benchmark.extra_info["events"] = result.sim.events_fired
+
+
+def test_bench_ground_truth_reconstruction(benchmark):
+    """Cost of rebuilding the happen-before graph from a sizeable trace."""
+    spec = ExperimentSpec(
+        n=8,
+        app=RandomRoutingApp(hops=80, seeds=(0, 1, 2, 3), initial_items=3),
+        protocol=DamaniGargProcess,
+        crashes=CrashPlan().crash(25.0, 2, 2.0),
+        seed=1,
+        horizon=120.0,
+        config=ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5),
+    )
+    result = run_experiment(spec)
+
+    gt = benchmark(lambda: build_ground_truth(result.trace, 8))
+    assert len(gt.states) > 100
+    benchmark.extra_info["states"] = len(gt.states)
+    benchmark.extra_info["trace_events"] = len(result.trace)

@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates a table or figure of the paper (see DESIGN.md's
+per-experiment index) and *asserts* the paper's qualitative shape -- who
+wins, by roughly what factor -- while pytest-benchmark records the wall
+time of the simulated runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import RandomRoutingApp
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+
+def standard_spec(
+    protocol,
+    *,
+    n: int = 4,
+    seed: int = 1,
+    crashes: CrashPlan | None = None,
+    horizon: float = 100.0,
+    **config_kwargs,
+) -> ExperimentSpec:
+    """The workload every comparative benchmark runs on."""
+    order = (
+        DeliveryOrder.FIFO
+        if getattr(protocol, "requires_fifo", False)
+        else DeliveryOrder.RANDOM
+    )
+    config_kwargs.setdefault("checkpoint_interval", 8.0)
+    config_kwargs.setdefault("flush_interval", 2.5)
+    config = ProtocolConfig(**config_kwargs)
+    return ExperimentSpec(
+        n=n,
+        app=RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3),
+        protocol=protocol,
+        crashes=crashes,
+        seed=seed,
+        horizon=horizon,
+        order=order,
+        config=config,
+    )
+
+
+def run_standard(protocol, **kwargs):
+    return run_experiment(standard_spec(protocol, **kwargs))
+
+
+@pytest.fixture
+def print_series(capsys):
+    """Print a labelled series so ``--benchmark-only -s`` shows the
+    regenerated rows; also returns them for extra_info."""
+
+    def _print(title: str, table: str) -> str:
+        with capsys.disabled():
+            print(f"\n### {title}\n{table}\n")
+        return table
+
+    return _print

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""A bank cluster surviving crashes with money conserved.
+
+Five branches shuffle money in deterministic transfer chains.  Two branches
+crash (one of them twice).  After recovery, the example verifies the
+application-level invariant on the surviving computation: every surviving
+state transition conserves money, and no surviving state ever observed a
+transfer from a lost or orphaned state -- i.e. the recovered history is one
+that could have happened in a failure-free run.
+
+It also demonstrates the Remark-1 retransmission extension: without it,
+transfers received-but-unlogged at the crash instant vanish with the
+failure (money "in flight forever"); with it, the senders retransmit and
+the chains continue.
+
+Run:  python examples/bank_cluster.py
+"""
+
+from repro import (
+    CrashPlan,
+    DamaniGargProcess,
+    ExperimentSpec,
+    ProtocolConfig,
+    run_experiment,
+)
+from repro.analysis import check_recovery
+from repro.apps import BankApp
+
+INITIAL_BALANCE = 1000
+N = 5
+
+
+def run(retransmit: bool, seed: int = 3):
+    spec = ExperimentSpec(
+        n=N,
+        app=BankApp(initial_balance=INITIAL_BALANCE, seeds=(0, 2),
+                    max_chain=200),
+        protocol=DamaniGargProcess,
+        crashes=(
+            CrashPlan()
+            .crash(15.0, 1, downtime=2.0)
+            .crash(30.0, 3, downtime=2.0)
+            .crash(45.0, 1, downtime=2.0)
+        ),
+        horizon=120.0,
+        seed=seed,
+        config=ProtocolConfig(
+            checkpoint_interval=8.0,
+            flush_interval=2.5,
+            retransmit_on_token=retransmit,
+        ),
+    )
+    return run_experiment(spec)
+
+
+def summarize(result, label: str) -> int:
+    verdict = check_recovery(result)
+    balances = [p.executor.state.balance for p in result.protocols]
+    total = sum(balances)
+    stranded = N * INITIAL_BALANCE - total
+    print(f"--- {label} ---")
+    print(f"final balances          : {balances}")
+    print(f"sum of balances         : {total}  (bank opened with "
+          f"{N * INITIAL_BALANCE})")
+    print(f"stranded money          : {stranded} "
+          f"(transfers lost with volatile logs at crashes)")
+    print(f"restarts / rollbacks    : {result.total_restarts} / "
+          f"{result.total_rollbacks}")
+    print(f"retransmitted           : {result.total('retransmitted')}")
+    print(f"duplicates suppressed   : {result.total('duplicates_discarded')}")
+    print(f"oracle verdict          : "
+          f"{'OK' if verdict.ok else verdict.violations}")
+    assert verdict.ok
+    # Money can be stranded by a failure but never created: the recovered
+    # history is one a failure-free run could have produced.
+    assert stranded >= 0, "conservation violated: money was created!"
+    print()
+    return stranded
+
+
+def main() -> None:
+    print(f"{N} branches, {INITIAL_BALANCE} each, "
+          f"three crashes (branch 1 twice)\n")
+    summarize(run(retransmit=False), "without retransmission (seed 3)")
+    summarize(run(retransmit=True),
+              "with Remark-1 retransmission (seed 3)")
+
+    # A single seed is anecdote; retransmission changes the execution, so
+    # the honest comparison is an aggregate over many runs.
+    seeds = range(8)
+    stranded_without = sum(
+        N * INITIAL_BALANCE
+        - sum(p.executor.state.balance for p in run(False, s).protocols)
+        for s in seeds
+    )
+    stranded_with = sum(
+        N * INITIAL_BALANCE
+        - sum(p.executor.state.balance for p in run(True, s).protocols)
+        for s in seeds
+    )
+    print(f"aggregate stranded money over {len(list(seeds))} seeds:")
+    print(f"  without retransmission : {stranded_without}")
+    print(f"  with retransmission    : {stranded_with}")
+    assert stranded_with < stranded_without
+    print("\nbank_cluster: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Distributed shared memory that survives crashes of homes and workers.
+
+The paper's Section 2 notes that message-passing recovery extends to
+Distributed Shared Memory.  Here a write-invalidate, sequentially
+consistent DSM (home-based pages, cached reads, invalidation-acknowledged
+writes, atomic fetch-and-add) runs unmodified on top of the Damani-Garg
+protocol.  A home node and a worker both crash mid-run; afterwards:
+
+- every worker completes its full operation sequence;
+- each page's version history at its home is dense (no committed write
+  vanished, none applied twice);
+- every value any worker ever read corresponds to a committed write;
+- the shared fetch-add counters show no lost or duplicated increments.
+
+Run:  python examples/dsm_shared_memory.py
+"""
+
+from collections import defaultdict
+
+from repro import (
+    CrashPlan,
+    DamaniGargProcess,
+    ExperimentSpec,
+    ProtocolConfig,
+    run_experiment,
+)
+from repro.analysis import check_recovery
+from repro.dsm import DSMApp
+
+HOMES, WORKERS, OPS, PAGES = 2, 3, 20, 4
+
+
+def main() -> None:
+    spec = ExperimentSpec(
+        n=HOMES + WORKERS,
+        app=DSMApp(homes=HOMES, pages=PAGES, ops_per_worker=OPS),
+        protocol=DamaniGargProcess,
+        crashes=CrashPlan().crash(40.0, 0, 2.0).crash(80.0, 3, 2.0),
+        horizon=400.0,
+        seed=1,
+        config=ProtocolConfig(
+            checkpoint_interval=12.0,
+            flush_interval=4.0,
+            retransmit_on_token=True,
+        ),
+    )
+    result = run_experiment(spec)
+    verdict = check_recovery(result)
+    assert verdict.ok, verdict.violations
+
+    print(f"{HOMES} home nodes, {WORKERS} workers, {PAGES} pages; "
+          f"home 0 and worker 3 crash\n")
+
+    print("--- workers ---")
+    for pid in range(HOMES, HOMES + WORKERS):
+        state = result.protocols[pid].executor.state
+        print(f"worker {pid}: {state.replies}/{OPS} ops done, "
+              f"{state.adds_acked} fetch-adds acked, "
+              f"{len(state.reads_log)} values observed")
+        assert state.replies == OPS
+
+    print("\n--- memory at the homes ---")
+    committed = {}
+    per_page_versions = defaultdict(list)
+    for pid in range(HOMES):
+        home = result.protocols[pid].executor.state
+        for page, (value, version) in home.pages:
+            print(f"page {page} (home {pid}): value={value} "
+                  f"version={version}")
+        for page, version, value, _writer, _kind in home.write_log:
+            committed[(page, version)] = value
+            per_page_versions[page].append(version)
+
+    for page, versions in sorted(per_page_versions.items()):
+        assert versions == list(range(1, len(versions) + 1)), page
+    print("version histories dense: no write lost, none duplicated")
+
+    for pid in range(HOMES, HOMES + WORKERS):
+        state = result.protocols[pid].executor.state
+        for page, version, value in state.reads_log:
+            assert version == 0 and value == 0 or (
+                committed.get((page, version)) == value
+            )
+    print("every observed value corresponds to a committed write")
+
+    failed_home = result.protocols[0]
+    print(f"\nrecovery: home 0 restarted "
+          f"{failed_home.stats.restarts}x (replayed "
+          f"{failed_home.stats.replayed} messages); "
+          f"rollbacks across system: {result.total_rollbacks}; "
+          f"retransmitted: {result.total('retransmitted')}")
+    print("oracle verdict: OK")
+    print("\ndsm_shared_memory: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Pessimistic vs optimistic vs causal logging, side by side.
+
+The paper positions its protocol inside the message-logging design space
+its related work surveys (Alvisi & Marzullo's taxonomy): pessimistic
+logging pays a synchronous stable write per receive, optimistic logging
+pays orphans and rollbacks when a failure hits, and causal logging pays
+piggyback mass and peer-assisted recovery.  This example runs all three
+families on the same crashing workload and prints each family's bill.
+
+Run:  python examples/logging_taxonomy.py
+"""
+
+from repro import (
+    CrashPlan,
+    DamaniGargProcess,
+    ExperimentSpec,
+    ProtocolConfig,
+    run_experiment,
+)
+from repro.analysis import check_recovery, recovery_latencies
+from repro.analysis.causality import build_ground_truth
+from repro.apps import RandomRoutingApp
+from repro.harness.reporting import format_table
+from repro.protocols import CausalLoggingProcess, PessimisticReceiverProcess
+
+SEEDS = (0, 1, 2)
+FAMILIES = [
+    ("pessimistic (receiver log)", PessimisticReceiverProcess),
+    ("optimistic (Damani-Garg)", DamaniGargProcess),
+    ("causal logging", CausalLoggingProcess),
+]
+
+
+def measure(protocol):
+    totals = dict(sync=0, sent=0, piggyback=0, lost=0, orphans=0,
+                  rollbacks=0, resume=0.0)
+    for seed in SEEDS:
+        spec = ExperimentSpec(
+            n=4,
+            app=RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3),
+            protocol=protocol,
+            crashes=CrashPlan().crash(20.0, 1, 2.0),
+            seed=seed,
+            horizon=100.0,
+            config=ProtocolConfig(checkpoint_interval=8.0,
+                                  flush_interval=2.5),
+        )
+        result = run_experiment(spec)
+        assert check_recovery(result).ok
+        gt = build_ground_truth(result.trace, 4)
+        totals["sync"] += result.total("sync_log_writes")
+        totals["sent"] += result.total("app_sent")
+        totals["piggyback"] += result.total("piggyback_entries")
+        totals["lost"] += len(gt.lost)
+        totals["orphans"] += len(gt.orphans())
+        totals["rollbacks"] += result.total_rollbacks
+        (latency,) = recovery_latencies(result)
+        totals["resume"] += latency.restart_latency
+    return totals
+
+
+def main() -> None:
+    print(f"one crash of P1 at t=20, downtime 2.0, {len(SEEDS)} seeds "
+          f"(sums)\n")
+    rows = []
+    for name, protocol in FAMILIES:
+        m = measure(protocol)
+        rows.append(
+            (
+                name,
+                m["sync"],
+                f"{m['piggyback'] / max(1, m['sent']):.1f}",
+                m["lost"],
+                m["orphans"],
+                m["rollbacks"],
+                f"{m['resume'] / len(SEEDS):.2f}",
+            )
+        )
+    print(format_table(
+        ["family", "sync writes", "piggyback/msg", "lost", "orphans",
+         "rollbacks", "resume"],
+        rows,
+    ))
+    print(
+        "\nEach family pays in its own currency:\n"
+        "  pessimistic -> a synchronous stable write per received message;\n"
+        "  optimistic  -> lost states, orphans and (minimal) rollbacks at\n"
+        "                 failure time, with the leanest piggyback (O(n));\n"
+        "  causal      -> determinant-laden messages and a recovery that\n"
+        "                 must consult the peers (slower resume).\n"
+        "\nThe paper's protocol is the optimistic point of this space, with\n"
+        "its history mechanism keeping the piggyback at one clock entry\n"
+        "per process."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro: a full reproduction of Damani & Garg (ICDCS 1996),
+"How to Recover Efficiently and Asynchronously when Optimism Fails".
+
+Public API tour
+---------------
+
+The paper's contribution::
+
+    from repro import (
+        FaultTolerantVectorClock,   # Section 4 / Figure 2
+        History,                    # Section 5 / Figure 3
+        RecoveryToken,
+        DamaniGargProcess,          # Section 6 / Figure 4
+    )
+
+Running an experiment::
+
+    from repro import ExperimentSpec, run_experiment, CrashPlan
+    from repro.apps import RandomRoutingApp
+    from repro.protocols import ProtocolConfig
+
+    spec = ExperimentSpec(
+        n=4,
+        app=RandomRoutingApp(hops=40, seeds=(0, 1)),
+        protocol=DamaniGargProcess,
+        crashes=CrashPlan().crash(time=20.0, pid=1),
+        horizon=80.0,
+    )
+    result = run_experiment(spec)
+
+Checking it against the ground truth::
+
+    from repro.analysis import check_recovery
+    verdict = check_recovery(result)
+    assert verdict.ok, verdict.violations
+"""
+
+from repro.core import (
+    AppEnvelope,
+    ClockEntry,
+    DamaniGargProcess,
+    FaultTolerantVectorClock,
+    History,
+    HistoryRecord,
+    RecordKind,
+    RecoveryToken,
+)
+from repro.harness import ExperimentResult, ExperimentSpec, run_experiment
+from repro.protocols import BaseRecoveryProcess, ProtocolConfig, ProtocolStats
+from repro.sim import (
+    Application,
+    CrashPlan,
+    DeliveryOrder,
+    FailureInjector,
+    Network,
+    PartitionPlan,
+    ProcessContext,
+    ProcessHost,
+    SimTrace,
+    Simulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppEnvelope",
+    "Application",
+    "BaseRecoveryProcess",
+    "ClockEntry",
+    "CrashPlan",
+    "DamaniGargProcess",
+    "DeliveryOrder",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FailureInjector",
+    "FaultTolerantVectorClock",
+    "History",
+    "HistoryRecord",
+    "Network",
+    "PartitionPlan",
+    "ProcessContext",
+    "ProcessHost",
+    "ProtocolConfig",
+    "ProtocolStats",
+    "RecordKind",
+    "RecoveryToken",
+    "SimTrace",
+    "Simulator",
+    "run_experiment",
+    "__version__",
+]

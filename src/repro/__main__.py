@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+- ``run``      -- one experiment with chosen protocol/workload/failures,
+                  oracle-checked, with an optional timeline dump;
+- ``table1``   -- regenerate the paper's Table 1;
+- ``figures``  -- verify the Figure 1 / Figure 5 scenarios;
+- ``overhead`` -- print the Section 6.9 overhead report for a run.
+
+Examples::
+
+    python -m repro run --protocol damani-garg -n 4 --crash 20:1 --seed 7
+    python -m repro run --protocol strom-yemini --crash 20:1 --timeline
+    python -m repro table1 --seeds 0 1 2
+    python -m repro figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import check_recovery, measure_overhead
+from repro.apps import BankApp, PingPongApp, PipelineApp, RandomRoutingApp
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.comparison import run_table1
+from repro.harness.reporting import render_paper_comparison, render_table1
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.harness.timeline import lane_summary, render_timeline
+from repro.protocols import (
+    CausalLoggingProcess,
+    CoordinatedProcess,
+    PessimisticReceiverProcess,
+    PetersonKearnsProcess,
+    ProtocolConfig,
+    SenderBasedProcess,
+    SistlaWelchProcess,
+    SmithJohnsonTygarProcess,
+    StromYeminiProcess,
+)
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+PROTOCOLS = {
+    "damani-garg": DamaniGargProcess,
+    "strom-yemini": StromYeminiProcess,
+    "sender-based": SenderBasedProcess,
+    "sistla-welch": SistlaWelchProcess,
+    "peterson-kearns": PetersonKearnsProcess,
+    "smith-johnson-tygar": SmithJohnsonTygarProcess,
+    "pessimistic": PessimisticReceiverProcess,
+    "causal": CausalLoggingProcess,
+    "coordinated": CoordinatedProcess,
+}
+
+WORKLOADS = {
+    "routing": lambda n: RandomRoutingApp(
+        hops=50, seeds=tuple(range(min(2, n))), initial_items=3
+    ),
+    "bank": lambda n: BankApp(seeds=(0,) if n < 3 else (0, 2)),
+    "pipeline": lambda n: PipelineApp(jobs=10),
+    "pingpong": lambda n: PingPongApp(rounds=50),
+}
+
+
+def _parse_crashes(specs: list[str]) -> CrashPlan | None:
+    """Each spec is ``time:pid`` or ``time:pid:downtime``."""
+    if not specs:
+        return None
+    plan = CrashPlan()
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(f"bad --crash spec {spec!r}; use time:pid[:down]")
+        time, pid = float(parts[0]), int(parts[1])
+        downtime = float(parts[2]) if len(parts) == 3 else 2.0
+        plan.crash(time, pid, downtime)
+    return plan
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    protocol = PROTOCOLS[args.protocol]
+    app = WORKLOADS[args.workload](args.n)
+    order = (
+        DeliveryOrder.FIFO
+        if protocol.requires_fifo or args.fifo
+        else DeliveryOrder.RANDOM
+    )
+    spec = ExperimentSpec(
+        n=args.n,
+        app=app,
+        protocol=protocol,
+        crashes=_parse_crashes(args.crash),
+        seed=args.seed,
+        horizon=args.horizon,
+        order=order,
+        config=ProtocolConfig(
+            checkpoint_interval=args.checkpoint_interval,
+            flush_interval=args.flush_interval,
+        ),
+    )
+    result = run_experiment(spec)
+
+    print(f"protocol   : {protocol.name}")
+    print(f"workload   : {args.workload}  n={args.n}  seed={args.seed}")
+    print(f"delivered  : {result.total_delivered}")
+    print(f"restarts   : {result.total_restarts}   "
+          f"rollbacks: {result.total_rollbacks}")
+    print(f"discarded  : {result.total('app_discarded')}   "
+          f"postponed: {result.total('app_postponed')}")
+    print()
+    print(lane_summary(result.trace, args.n))
+
+    if args.timeline:
+        print("\n--- timeline ---")
+        print(render_timeline(result.trace, limit=args.timeline_limit))
+
+    strict = protocol not in (StromYeminiProcess, CoordinatedProcess)
+    verdict = check_recovery(
+        result,
+        expect_minimal_rollback=strict,
+        expect_maximum_recovery=strict,
+        expect_single_rollback_per_failure=strict,
+    )
+    print(f"\noracle: {'OK' if verdict.ok else 'VIOLATIONS'}")
+    for violation in verdict.violations:
+        print(f"  - {violation}")
+    return 0 if verdict.ok else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = run_table1(n=args.n, seeds=tuple(args.seeds))
+    print(render_table1(rows))
+    print()
+    print(render_paper_comparison(rows))
+    return 0 if all(row.safety_ok for row in rows) else 1
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.harness.scenarios import figure1, figure5
+
+    result1 = figure1()
+    ok1 = (
+        result1.protocols[1].clock.pairs() == result1.notes["p1_after_m0"]
+        and result1.protocols[2].clock.pairs() == result1.notes["r20"]
+        and check_recovery(result1).ok
+    )
+    print(f"figure 1: {'verified' if ok1 else 'MISMATCH'}")
+
+    result5 = figure5()
+    from repro.sim.trace import EventKind
+
+    ok5 = (
+        len(result5.trace.events(EventKind.POSTPONE, pid=0)) == 1
+        and len(result5.trace.events(EventKind.DISCARD, pid=2)) == 1
+        and result5.protocols[0].stats.rollbacks == 1
+        and check_recovery(result5).ok
+    )
+    print(f"figure 5: {'verified' if ok5 else 'MISMATCH'}")
+    return 0 if ok1 and ok5 else 1
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        n=args.n,
+        app=WORKLOADS["routing"](args.n),
+        protocol=DamaniGargProcess,
+        crashes=_parse_crashes(args.crash),
+        seed=args.seed,
+        horizon=args.horizon,
+    )
+    result = run_experiment(spec)
+    report = measure_overhead(result)
+    print(f"n                     : {report.n}")
+    print(f"failures              : {report.failures}")
+    print(f"app messages          : {report.app_messages}")
+    print(f"control messages      : {report.control_messages}")
+    print(f"piggyback entries/msg : "
+          f"{report.piggyback_entries_per_message:.1f}")
+    print(f"piggyback bits/msg    : {report.piggyback_bits_per_message:.0f}")
+    print(f"history records (max) : {report.history_records_max} "
+          f"(bound {report.history_bound})")
+    print(f"checkpoints taken     : {report.checkpoints_taken}")
+    print(f"log flushes           : {report.log_flushes}")
+    print(f"rollbacks / restarts  : {report.rollbacks} / {report.restarts}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Damani-Garg optimistic recovery reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one oracle-checked experiment")
+    run_parser.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                            default="damani-garg")
+    run_parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                            default="routing")
+    run_parser.add_argument("-n", type=int, default=4)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--horizon", type=float, default=100.0)
+    run_parser.add_argument("--crash", action="append", default=[],
+                            metavar="TIME:PID[:DOWN]")
+    run_parser.add_argument("--fifo", action="store_true",
+                            help="force FIFO channels")
+    run_parser.add_argument("--checkpoint-interval", type=float, default=8.0)
+    run_parser.add_argument("--flush-interval", type=float, default=2.5)
+    run_parser.add_argument("--timeline", action="store_true")
+    run_parser.add_argument("--timeline-limit", type=int, default=120)
+    run_parser.set_defaults(func=cmd_run)
+
+    t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    t1.add_argument("-n", type=int, default=4)
+    t1.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    t1.set_defaults(func=cmd_table1)
+
+    figures = sub.add_parser("figures", help="verify Figures 1 and 5")
+    figures.set_defaults(func=cmd_figures)
+
+    overhead = sub.add_parser("overhead",
+                              help="Section 6.9 overhead report")
+    overhead.add_argument("-n", type=int, default=4)
+    overhead.add_argument("--seed", type=int, default=0)
+    overhead.add_argument("--horizon", type=float, default=100.0)
+    overhead.add_argument("--crash", action="append", default=[],
+                          metavar="TIME:PID[:DOWN]")
+    overhead.set_defaults(func=cmd_overhead)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

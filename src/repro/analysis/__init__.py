@@ -1,0 +1,57 @@
+"""Protocol-independent analysis: ground truth, oracles, metrics.
+
+- :mod:`repro.analysis.causality` -- rebuilds the paper's extended
+  happen-before relation (Section 3) from the substrate trace and computes
+  the ground-truth *lost* and *orphan* state sets.
+- :mod:`repro.analysis.consistency` -- :func:`check_recovery`, the oracle
+  asserting that a run recovered correctly (no surviving orphans, minimal
+  rollback, at most one rollback per failure, exact obsolete detection).
+- :mod:`repro.analysis.theorem` -- checks Theorem 1 (FTVC order == extended
+  happen-before on useful states) exhaustively on a finished run.
+- :mod:`repro.analysis.recoverability` -- maximum-recoverable-state
+  computation in the style of Johnson & Zwaenepoel [12].
+- :mod:`repro.analysis.metrics` -- overhead accounting for Section 6.9.
+- :mod:`repro.analysis.predicates` -- weak unstable predicate detection
+  with FTVCs (the Section 4 "other applications" claim, Garg-Waldecker [9]).
+"""
+
+from repro.analysis.causality import GroundTruth, build_ground_truth
+from repro.analysis.consistency import RecoveryVerdict, check_recovery
+from repro.analysis.metrics import (
+    OverheadReport,
+    RecoveryLatency,
+    measure_overhead,
+    recovery_latencies,
+)
+from repro.analysis.monitor import TraceDisciplineError, TraceMonitor
+from repro.analysis.visualize import result_to_dot, to_dot
+from repro.analysis.predicates import (
+    PredicateWitness,
+    detect_weak_conjunctive,
+)
+from repro.analysis.recoverability import (
+    maximum_recoverable_cut,
+    recovery_line,
+)
+from repro.analysis.theorem import TheoremReport, check_theorem1
+
+__all__ = [
+    "GroundTruth",
+    "OverheadReport",
+    "PredicateWitness",
+    "RecoveryLatency",
+    "RecoveryVerdict",
+    "TheoremReport",
+    "TraceDisciplineError",
+    "TraceMonitor",
+    "build_ground_truth",
+    "check_recovery",
+    "check_theorem1",
+    "detect_weak_conjunctive",
+    "maximum_recoverable_cut",
+    "measure_overhead",
+    "recovery_latencies",
+    "recovery_line",
+    "result_to_dot",
+    "to_dot",
+]

@@ -1,0 +1,166 @@
+"""Overhead accounting (paper Section 6.9).
+
+:func:`measure_overhead` condenses a finished run into the quantities the
+paper's overhead analysis talks about:
+
+1. **FTVC piggyback** -- clock entries (and estimated bits, including the
+   ``log f`` version bits) attached per application message;
+2. **Token broadcast** -- control messages sent, which must be zero during
+   failure-free operation and ``n - 1`` per failure;
+3. **History memory** -- records held per process, bounded by O(n·f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.runner import ExperimentResult
+from repro.sim.trace import EventKind
+
+
+@dataclass
+class OverheadReport:
+    """Aggregated overhead numbers for one run."""
+
+    n: int
+    failures: int
+    app_messages: int
+    control_messages: int
+    piggyback_entries_total: int
+    piggyback_bits_total: int
+    history_records_max: int
+    history_bound: int              # n * (max failures of any process + 1)
+    checkpoints_taken: int
+    log_flushes: int
+    sync_writes: int
+    rollbacks: int
+    restarts: int
+    replayed: int
+
+    @property
+    def piggyback_entries_per_message(self) -> float:
+        if not self.app_messages:
+            return 0.0
+        return self.piggyback_entries_total / self.app_messages
+
+    @property
+    def piggyback_bits_per_message(self) -> float:
+        if not self.app_messages:
+            return 0.0
+        return self.piggyback_bits_total / self.app_messages
+
+    @property
+    def control_messages_per_failure(self) -> float:
+        if not self.failures:
+            return 0.0
+        return self.control_messages / self.failures
+
+    @property
+    def history_within_bound(self) -> bool:
+        return self.history_records_max <= self.history_bound
+
+
+def measure_overhead(result: ExperimentResult) -> OverheadReport:
+    """Extract the Section 6.9 overhead quantities from ``result``."""
+    failures = result.trace.count(EventKind.CRASH)
+    history_max = 0
+    for protocol in result.protocols:
+        history = getattr(protocol, "history", None)
+        if history is not None and hasattr(history, "size"):
+            history_max = max(history_max, history.size())
+    max_per_process_failures = max(
+        (host.crash_count for host in result.hosts), default=0
+    )
+    return OverheadReport(
+        n=result.spec.n,
+        failures=failures,
+        app_messages=result.total("app_sent"),
+        control_messages=result.total("control_sent"),
+        piggyback_entries_total=result.total("piggyback_entries"),
+        piggyback_bits_total=result.total("piggyback_bits"),
+        history_records_max=history_max,
+        history_bound=result.spec.n * (max_per_process_failures + 1),
+        checkpoints_taken=sum(
+            p.storage.checkpoints.taken_count for p in result.protocols
+        ),
+        log_flushes=sum(
+            p.storage.log.flush_count for p in result.protocols
+        ),
+        sync_writes=sum(p.storage.sync_writes for p in result.protocols),
+        rollbacks=result.total_rollbacks,
+        restarts=result.total_restarts,
+        replayed=result.total("replayed"),
+    )
+
+
+@dataclass
+class RecoveryLatency:
+    """Timing of one failure's recovery.
+
+    - ``restart_latency``: crash -> the failed process computing again
+      (includes the scheduled downtime; anything beyond it is protocol
+      waiting).
+    - ``settle_latency``: crash -> the last recovery action anywhere that
+      is attributable to this failure (rollbacks at peers, the restart
+      itself) -- when the whole system has absorbed the failure.
+    """
+
+    pid: int
+    crash_time: float
+    restart_time: float | None
+    settle_time: float | None
+
+    @property
+    def restart_latency(self) -> float | None:
+        if self.restart_time is None:
+            return None
+        return self.restart_time - self.crash_time
+
+    @property
+    def settle_latency(self) -> float | None:
+        if self.settle_time is None:
+            return None
+        return self.settle_time - self.crash_time
+
+
+def recovery_latencies(result: ExperimentResult) -> list[RecoveryLatency]:
+    """Per-crash recovery timing, reconstructed from the trace.
+
+    The restart is matched as the failed process's first RESTART event
+    after the crash; the settle point is the latest of that restart and
+    every ROLLBACK that falls between this crash's recovery and the next
+    crash (rollbacks are attributed by time window, which is exact for
+    non-overlapping recoveries and approximate when recoveries overlap).
+    """
+    crashes = result.trace.events(EventKind.CRASH)
+    restarts = result.trace.events(EventKind.RESTART)
+    rollbacks = result.trace.events(EventKind.ROLLBACK)
+    latencies: list[RecoveryLatency] = []
+    for index, crash in enumerate(crashes):
+        next_crash_time = (
+            crashes[index + 1].time if index + 1 < len(crashes) else None
+        )
+        restart = next(
+            (
+                e
+                for e in restarts
+                if e.pid == crash.pid and e.time >= crash.time
+            ),
+            None,
+        )
+        settle = restart.time if restart is not None else None
+        for rollback in rollbacks:
+            if rollback.time < crash.time:
+                continue
+            if next_crash_time is not None and rollback.time >= next_crash_time:
+                continue
+            settle = max(settle or 0.0, rollback.time)
+        latencies.append(
+            RecoveryLatency(
+                pid=crash.pid,
+                crash_time=crash.time,
+                restart_time=restart.time if restart is not None else None,
+                settle_time=settle,
+            )
+        )
+    return latencies

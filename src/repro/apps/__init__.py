@@ -1,0 +1,59 @@
+"""Piecewise-deterministic applications used as workloads.
+
+Every application here obeys the paper's Section 3 model: ``handle`` is a
+pure function of ``(state, payload)`` -- no clocks, no randomness, no I/O --
+so replay from a checkpoint reconstructs states exactly.  "Randomness" in
+the routing workloads is a deterministic integer mix of the state and the
+received value, which gives irregular communication patterns while staying
+replayable.
+
+- :class:`~repro.apps.applications.RandomRoutingApp` -- hop-bounded chaotic
+  routing; the workhorse for protocol comparisons.
+- :class:`~repro.apps.applications.PingPongApp` -- paired counters, the
+  simplest possible two-process workload.
+- :class:`~repro.apps.applications.BankApp` -- money transfers with a
+  conservation invariant (sum of balances + in-flight = constant), used by
+  the consistency examples.
+- :class:`~repro.apps.applications.PipelineApp` -- a staged pipeline with
+  environment outputs at the sink (output-commit demo).
+"""
+
+from repro.apps.applications import (
+    BankApp,
+    BankState,
+    PingPongApp,
+    PipelineApp,
+    RandomRoutingApp,
+    RoutingState,
+    Transfer,
+    WorkItem,
+    mix64,
+)
+from repro.apps.kvstore import (
+    ClientState,
+    KVGet,
+    KVPut,
+    KVReplicate,
+    KVReply,
+    KVStoreApp,
+    ReplicaState,
+)
+
+__all__ = [
+    "BankApp",
+    "BankState",
+    "ClientState",
+    "KVGet",
+    "KVPut",
+    "KVReplicate",
+    "KVReply",
+    "KVStoreApp",
+    "PingPongApp",
+    "PipelineApp",
+    "RandomRoutingApp",
+    "ReplicaState",
+    "RoutingState",
+    "Transfer",
+    "WorkItem",
+    "mix64",
+]

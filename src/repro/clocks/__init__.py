@@ -1,0 +1,11 @@
+"""Logical clocks: Lamport scalar clocks and Mattern vector clocks.
+
+These are the failure-free foundations that the paper's Fault-Tolerant
+Vector Clock (:mod:`repro.core.ftvc`) extends.  Several Table 1 baseline
+protocols use the plain vector clock directly.
+"""
+
+from repro.clocks.lamport import LamportClock
+from repro.clocks.vector import VectorClock
+
+__all__ = ["LamportClock", "VectorClock"]

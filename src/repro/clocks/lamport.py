@@ -1,0 +1,31 @@
+"""Lamport's scalar logical clock (Lamport 1978, paper reference [14])."""
+
+from __future__ import annotations
+
+
+class LamportClock:
+    """A scalar clock: ``a -> b`` implies ``C(a) < C(b)`` (not iff)."""
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError("clock cannot be negative")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local or send event; returns the new value."""
+        self._value += 1
+        return self._value
+
+    def merge(self, other: int) -> int:
+        """Advance for a receive carrying timestamp ``other``."""
+        if other < 0:
+            raise ValueError("received timestamp cannot be negative")
+        self._value = max(self._value, other) + 1
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"LamportClock({self._value})"

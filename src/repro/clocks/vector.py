@@ -1,0 +1,97 @@
+"""Mattern's vector clock (paper reference [17]).
+
+In a failure-free run, ``s -> u  iff  s.clock < u.clock`` for the
+component-wise order.  The FTVC of :mod:`repro.core.ftvc` restores this
+equivalence for *useful* states when processes fail and roll back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class VectorClock:
+    """An immutable-by-convention vector of per-process counters.
+
+    Methods return new instances; nothing mutates in place.  This keeps
+    clocks safe to stash inside checkpoints, log entries and trace events.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Sequence[int]) -> None:
+        if not entries:
+            raise ValueError("vector clock needs at least one entry")
+        if any(e < 0 for e in entries):
+            raise ValueError(f"negative clock entry in {entries!r}")
+        self._entries = tuple(entries)
+
+    @classmethod
+    def zero(cls, n: int) -> "VectorClock":
+        return cls((0,) * n)
+
+    @classmethod
+    def initial(cls, pid: int, n: int) -> "VectorClock":
+        """The conventional start: own component 1, the rest 0."""
+        entries = [0] * n
+        entries[pid] = 1
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, i: int) -> int:
+        return self._entries[i]
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[int, ...]:
+        return self._entries
+
+    # ------------------------------------------------------------------
+    # Clock operations
+    # ------------------------------------------------------------------
+    def tick(self, pid: int) -> "VectorClock":
+        """Advance the ``pid`` component by one."""
+        entries = list(self._entries)
+        entries[pid] += 1
+        return VectorClock(entries)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum (receive rule, before the local tick)."""
+        if len(other) != len(self):
+            raise ValueError("vector clock length mismatch")
+        return VectorClock(
+            tuple(max(a, b) for a, b in zip(self._entries, other._entries))
+        )
+
+    # ------------------------------------------------------------------
+    # Partial order
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        if len(other) != len(self):
+            raise ValueError("vector clock length mismatch")
+        return all(a <= b for a, b in zip(self._entries, other._entries))
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates: the states are causally unrelated."""
+        return not (self <= other) and not (other <= self)
+
+    def __repr__(self) -> str:
+        return f"VectorClock({list(self._entries)})"

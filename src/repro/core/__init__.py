@@ -1,0 +1,31 @@
+"""The paper's primary contribution.
+
+- :mod:`repro.core.ftvc` -- the Fault-Tolerant Vector Clock (Section 4,
+  Figure 2): a vector clock whose entries are ``(version, timestamp)``
+  pairs, maintaining causality between useful states across failures.
+- :mod:`repro.core.history` -- the history mechanism (Section 5, Figure 3):
+  per-(process, version) records that yield exact orphan and
+  obsolete-message tests (Lemmas 3 and 4).
+- :mod:`repro.core.tokens` -- recovery tokens broadcast after a failure.
+- :mod:`repro.core.recovery` -- the complete asynchronous recovery protocol
+  (Section 6, Figure 4).
+- :mod:`repro.core.extensions` -- the paper's Section 6.5 remarks made
+  concrete: send-history retransmission, output commit, and log/checkpoint
+  garbage collection.
+"""
+
+from repro.core.ftvc import ClockEntry, FaultTolerantVectorClock
+from repro.core.history import History, HistoryRecord, RecordKind
+from repro.core.recovery import AppEnvelope, DamaniGargProcess
+from repro.core.tokens import RecoveryToken
+
+__all__ = [
+    "AppEnvelope",
+    "ClockEntry",
+    "DamaniGargProcess",
+    "FaultTolerantVectorClock",
+    "History",
+    "HistoryRecord",
+    "RecordKind",
+    "RecoveryToken",
+]

@@ -1,0 +1,176 @@
+"""Fault-Tolerant Vector Clock (paper Section 4, Figure 2).
+
+Each entry of the clock is a ``(version, timestamp)`` pair:
+
+- the *version* in entry ``i`` of process ``i``'s clock counts how many
+  times ``i`` has failed and recovered;
+- entry ``j`` holds the highest version of ``P_j`` the owner causally
+  depends on, with the largest timestamp seen within that version.
+
+Entries are ordered lexicographically: ``e1 < e2`` iff ``v1 < v2`` or
+(``v1 == v2`` and ``ts1 < ts2``).  The clock rules (Figure 2):
+
+- **initialize** -- every entry ``(0, 0)``, own entry ``(0, 1)``;
+- **send** -- attach the current clock, then increment the own timestamp;
+- **receive** -- component-wise maximum with the message's clock, then
+  increment the own timestamp;
+- **restart** (after a failure) -- increment the own *version*, reset the
+  own timestamp to 0 (requires no lost state: only the version number,
+  which is preserved via the post-restart checkpoint);
+- **rollback** -- increment the own timestamp, leave the version alone.
+
+Theorem 1: for *useful* states (neither lost nor orphan),
+``s -> u  iff  s.clock < u.clock``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class ClockEntry:
+    """One ``(version, timestamp)`` component.
+
+    ``order=True`` gives exactly the paper's lexicographic order, because
+    ``version`` is declared first.
+    """
+
+    version: int = 0
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.version < 0 or self.timestamp < 0:
+            raise ValueError(f"negative clock entry {self!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.version},{self.timestamp})"
+
+
+class FaultTolerantVectorClock:
+    """Immutable FTVC; operations return new clocks.
+
+    Immutability means clocks can be stored in checkpoints, log entries and
+    message envelopes without defensive copying -- a rollback that restores
+    a checkpointed clock cannot be corrupted by later clock updates.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Sequence[ClockEntry]) -> None:
+        if not entries:
+            raise ValueError("FTVC needs at least one entry")
+        self._entries = tuple(entries)
+
+    @classmethod
+    def initial(cls, pid: int, n: int) -> "FaultTolerantVectorClock":
+        """Figure 2 Initialize: all (0,0), own timestamp 1."""
+        if not 0 <= pid < n:
+            raise ValueError(f"pid {pid} out of range 0..{n - 1}")
+        entries = [ClockEntry(0, 0)] * n
+        entries[pid] = ClockEntry(0, 1)
+        return cls(entries)
+
+    @classmethod
+    def of(
+        cls, pairs: Iterable[tuple[int, int]]
+    ) -> "FaultTolerantVectorClock":
+        """Build from ``(version, timestamp)`` pairs (tests, scenarios)."""
+        return cls([ClockEntry(v, t) for v, t in pairs])
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, i: int) -> ClockEntry:
+        return self._entries[i]
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[ClockEntry, ...]:
+        return self._entries
+
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        """Entries as plain ``(version, timestamp)`` tuples."""
+        return tuple((e.version, e.timestamp) for e in self._entries)
+
+    # ------------------------------------------------------------------
+    # Clock rules (Figure 2)
+    # ------------------------------------------------------------------
+    def tick(self, pid: int) -> "FaultTolerantVectorClock":
+        """Increment the own timestamp (send / post-receive / rollback)."""
+        entries = list(self._entries)
+        e = entries[pid]
+        entries[pid] = ClockEntry(e.version, e.timestamp + 1)
+        return FaultTolerantVectorClock(entries)
+
+    def merge(
+        self, other: "FaultTolerantVectorClock"
+    ) -> "FaultTolerantVectorClock":
+        """Component-wise maximum under the lexicographic entry order."""
+        if len(other) != len(self):
+            raise ValueError("FTVC length mismatch")
+        return FaultTolerantVectorClock(
+            tuple(max(a, b) for a, b in zip(self._entries, other._entries))
+        )
+
+    def restart(self, pid: int) -> "FaultTolerantVectorClock":
+        """New incarnation: own version + 1, own timestamp reset to 0.
+
+        Deliberately needs only the previous *version* number, never the
+        (possibly lost) previous timestamp -- the property the paper relies
+        on for asynchronous restart.
+        """
+        entries = list(self._entries)
+        entries[pid] = ClockEntry(entries[pid].version + 1, 0)
+        return FaultTolerantVectorClock(entries)
+
+    # ------------------------------------------------------------------
+    # Partial order (Section 4.1)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultTolerantVectorClock):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __le__(self, other: "FaultTolerantVectorClock") -> bool:
+        if len(other) != len(self):
+            raise ValueError("FTVC length mismatch")
+        return all(a <= b for a, b in zip(self._entries, other._entries))
+
+    def __lt__(self, other: "FaultTolerantVectorClock") -> bool:
+        """The paper's ``c1 < c2``: every entry <=, some entry strictly <."""
+        return self <= other and self != other
+
+    def concurrent_with(self, other: "FaultTolerantVectorClock") -> bool:
+        return not (self <= other) and not (other <= self)
+
+    # ------------------------------------------------------------------
+    # Overhead accounting (Section 6.9)
+    # ------------------------------------------------------------------
+    def piggyback_entries(self) -> int:
+        """Number of scalar timestamps piggybacked on a message: O(n)."""
+        return len(self._entries)
+
+    def wire_size_bits(self, timestamp_bits: int = 32) -> int:
+        """Estimated encoded size.
+
+        Each entry needs ``timestamp_bits`` for the timestamp plus
+        ``ceil(log2(f + 1))`` bits for the version, where ``f`` is the
+        largest version in the clock -- the paper's "log f bits" claim.
+        """
+        max_version = max(e.version for e in self._entries)
+        version_bits = max(1, (max_version + 1 - 1).bit_length())
+        return len(self._entries) * (timestamp_bits + version_bits)
+
+    def __repr__(self) -> str:
+        inner = " ".join(repr(e) for e in self._entries)
+        return f"FTVC[{inner}]"

@@ -1,0 +1,193 @@
+"""The history mechanism (paper Section 5, Figure 3).
+
+Each process keeps, in volatile memory, at most one record per known
+``(process, version)`` pair:
+
+- a **token record** ``(token, v, t)`` -- "version ``v`` of that process
+  failed and was restored at timestamp ``t``"; token records are final for
+  their version (the restoration point is a fact) and are never overwritten
+  by message records;
+- a **message record** ``(mes, v, t)`` -- "the largest timestamp of version
+  ``v`` of that process that we transitively depend on is ``t``"; updated
+  by taking the maximum over the clocks of delivered messages.
+
+The two exact tests the paper proves:
+
+- **obsolete message** (Lemma 4): message ``m`` is obsolete iff for some
+  ``j`` the history holds ``(token, v, t)`` for ``P_j`` while
+  ``m.clock[j] = (v, t')`` with ``t' > t``;
+- **orphan state** (Lemma 3): on receiving token ``(v, t)`` from ``P_j``,
+  the local state is an orphan iff the history holds ``(mes, v, t')`` for
+  ``P_j`` with ``t' > t``.
+
+The history is O(n·f) space (Section 6.9): at most one record per version
+per process.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.ftvc import FaultTolerantVectorClock
+from repro.core.tokens import RecoveryToken
+
+
+class RecordKind(Enum):
+    """Whether a history record came from a message clock (maximum-updated)
+    or from a token (final for its version)."""
+
+    MESSAGE = "mes"
+    TOKEN = "token"
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """One ``(kind, version, timestamp)`` record for some ``(process, version)``."""
+
+    kind: RecordKind
+    version: int
+    timestamp: int
+
+    def __repr__(self) -> str:
+        return f"({self.kind.value},{self.version},{self.timestamp})"
+
+
+class History:
+    """Per-process history table: ``history[j][version] -> HistoryRecord``."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        if not 0 <= pid < n:
+            raise ValueError(f"pid {pid} out of range 0..{n - 1}")
+        self.pid = pid
+        self.n = n
+        self._records: list[dict[int, HistoryRecord]] = [{} for _ in range(n)]
+        # Figure 3 Initialize: (mes,0,0) for every process, (mes,0,1) for self.
+        for j in range(n):
+            self._records[j][0] = HistoryRecord(RecordKind.MESSAGE, 0, 0)
+        self._records[pid][0] = HistoryRecord(RecordKind.MESSAGE, 0, 1)
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def record(self, j: int, version: int) -> HistoryRecord | None:
+        """The record for version ``version`` of process ``j``, if any."""
+        return self._records[j].get(version)
+
+    def records_for(self, j: int) -> list[HistoryRecord]:
+        """All records kept about process ``j``, oldest version first."""
+        return [self._records[j][v] for v in sorted(self._records[j])]
+
+    def has_token(self, j: int, version: int) -> bool:
+        rec = self._records[j].get(version)
+        return rec is not None and rec.kind is RecordKind.TOKEN
+
+    def size(self) -> int:
+        """Total records held -- the O(n·f) quantity of Section 6.9."""
+        return sum(len(per) for per in self._records)
+
+    # ------------------------------------------------------------------
+    # Updates (Figure 3)
+    # ------------------------------------------------------------------
+    def observe_message_clock(self, clock: FaultTolerantVectorClock) -> None:
+        """Receive-message rule: raise message records to the clock's entries.
+
+        A token record for the same version is kept as-is: the restoration
+        point is final, and a message that would contradict it (timestamp
+        above the token's) is obsolete and must have been discarded before
+        this method is called.
+        """
+        if len(clock) != self.n:
+            raise ValueError("clock length mismatch")
+        for j, entry in enumerate(clock):
+            existing = self._records[j].get(entry.version)
+            if existing is not None:
+                if existing.kind is RecordKind.TOKEN:
+                    continue
+                if existing.timestamp >= entry.timestamp:
+                    continue
+            self._records[j][entry.version] = HistoryRecord(
+                RecordKind.MESSAGE, entry.version, entry.timestamp
+            )
+
+    def observe_token(self, token: RecoveryToken) -> None:
+        """Receive-token rule: install the final record for that version."""
+        self._records[token.origin][token.version] = HistoryRecord(
+            RecordKind.TOKEN, token.version, token.timestamp
+        )
+
+    # ------------------------------------------------------------------
+    # The paper's exact tests
+    # ------------------------------------------------------------------
+    def is_obsolete(self, clock: FaultTolerantVectorClock) -> bool:
+        """Lemma 4: the message carrying ``clock`` is from a lost or orphan
+        state iff some entry exceeds a known token's restoration point."""
+        for j, entry in enumerate(clock):
+            rec = self._records[j].get(entry.version)
+            if (
+                rec is not None
+                and rec.kind is RecordKind.TOKEN
+                and entry.timestamp > rec.timestamp
+            ):
+                return True
+        return False
+
+    def missing_tokens(
+        self, clock: FaultTolerantVectorClock
+    ) -> list[tuple[int, int]]:
+        """Deliverability test (Section 6.1).
+
+        A message is not deliverable if its clock mentions version ``k`` of
+        some process ``j`` while we have not yet received the tokens for all
+        versions ``l < k`` of ``P_j``.  Returns the ``(j, l)`` pairs still
+        awaited (empty list == deliverable).
+        """
+        missing: list[tuple[int, int]] = []
+        for j, entry in enumerate(clock):
+            for l in range(entry.version):
+                if not self.has_token(j, l):
+                    missing.append((j, l))
+        return missing
+
+    def orphaned_by(self, token: RecoveryToken) -> bool:
+        """Lemma 3: are we an orphan of this failure?
+
+        True iff we transitively depend on a state of the failed version
+        with a timestamp above the restoration point.
+        """
+        rec = self._records[token.origin].get(token.version)
+        return (
+            rec is not None
+            and rec.kind is RecordKind.MESSAGE
+            and rec.timestamp > token.timestamp
+        )
+
+    def survives_token(self, token: RecoveryToken) -> bool:
+        """Non-orphan test used for the rollback scan (Figure 4, step I).
+
+        A checkpointed history survives iff it holds no message record for
+        the failed version, or that record's timestamp is at most the
+        restoration point.  (The paper's step I writes the strict ``t' < t``;
+        we use ``t' <= t``, consistent with Lemma 3's orphan condition
+        ``t < t'`` -- a state that depends exactly on the restored state is
+        not an orphan, since the restored state survives.)
+        """
+        rec = self._records[token.origin].get(token.version)
+        if rec is None or rec.kind is RecordKind.TOKEN:
+            return True
+        return rec.timestamp <= token.timestamp
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "History":
+        """A deep copy, safe to store in a checkpoint."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:
+        parts = []
+        for j in range(self.n):
+            recs = " ".join(repr(r) for r in self.records_for(j))
+            parts.append(f"P{j}:[{recs}]")
+        return "History(" + ", ".join(parts) + ")"

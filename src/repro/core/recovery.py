@@ -1,0 +1,672 @@
+"""The Damani-Garg asynchronous recovery protocol (paper Section 6, Fig. 4).
+
+One :class:`DamaniGargProcess` runs per application process and implements
+the four protocol actions exactly as published:
+
+**Receive message** (6.1)
+    Discard if obsolete (history token record contradicts the message's
+    clock, Lemma 4); postpone if the clock mentions a version for which an
+    earlier version's token has not arrived; otherwise log to the volatile
+    buffer, update history and FTVC, and run the application handler.
+
+**Restart after a failure** (6.2)
+    Restore the last checkpoint, replay the stable log, broadcast a token
+    ``(failed version, restored timestamp)``, increment the version, reset
+    the timestamp, update the history, and take a fresh checkpoint (so the
+    version number survives another failure).  Recovery is completely
+    asynchronous: nothing here waits for any other process.
+
+**Receive token** (6.3)
+    Synchronously log the token; if the history shows a message record for
+    the failed version above the restoration point, the process is an
+    orphan (Lemma 3) and rolls back; either way the token record is
+    installed and messages postponed for this token are re-examined.
+
+**Rollback** (6.4)
+    Flush the log (a non-failed process loses nothing), restore the maximum
+    non-orphan checkpoint, replay logged messages up to the orphan point,
+    discard the orphan suffix of checkpoints and log, and bump the FTVC
+    timestamp (the version is untouched: rollback is not a failure).
+
+Extensions from Section 6.5 are opt-in via
+:class:`~repro.protocols.base.ProtocolConfig`:
+
+- ``retransmit_on_token`` -- Remark 1: the token carries the full clock and
+  peers retransmit logged sends concurrent with the restored state, so
+  messages received-but-unlogged at the failure are not lost forever.
+  Retransmission implies duplicate suppression, done with per-message
+  dedup ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.ftvc import FaultTolerantVectorClock
+from repro.core.history import History
+from repro.core.tokens import RecoveryToken
+from repro.protocols.base import BaseRecoveryProcess, ProtocolConfig
+from repro.sim.network import NetworkMessage
+from repro.sim.process import Application, ProcessHost
+from repro.sim.trace import EventKind
+
+
+@dataclass(frozen=True)
+class AppEnvelope:
+    """What actually travels on the wire for an application message."""
+
+    payload: Any
+    clock: FaultTolerantVectorClock
+    dedup_id: tuple[int, int]       # (sender pid, sender send sequence)
+
+
+@dataclass(frozen=True)
+class _SendLogEntry:
+    """Send-history entry kept for the Remark-1 retransmission extension."""
+
+    dst: int
+    envelope: AppEnvelope
+    sender_uid: tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class _ReplayedNetworkMessage:
+    """A log entry re-presented to the receive path after a rollback
+    truncated it (duck-typed stand-in for a NetworkMessage)."""
+
+    msg_id: int
+    src: int
+    payload: AppEnvelope
+    kind: str = "app"
+
+
+class DamaniGargProcess(BaseRecoveryProcess):
+    """The paper's protocol for one process."""
+
+    name = "Damani-Garg"
+    requires_fifo = False
+    asynchronous_recovery = True
+    tolerates_concurrent_failures = True
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        app: Application,
+        config: ProtocolConfig | None = None,
+    ) -> None:
+        super().__init__(host, app, config)
+        self.clock = FaultTolerantVectorClock.initial(self.pid, self.n)
+        self.history = History(self.pid, self.n)
+        # Volatile state, all lost in a crash:
+        self._held: list[NetworkMessage] = []     # postponed messages
+        self._send_seq = 0                        # dedup id source
+        self._delivered_ids: set[tuple[int, int]] = set()
+        self._send_log: list[_SendLogEntry] = []  # Remark-1 send history
+        # Debug/analysis map: state uid -> FTVC at state creation.  Not part
+        # of the protocol; the Theorem 1 oracle reads it.
+        self.clock_by_uid: dict[tuple[int, int, int], FaultTolerantVectorClock] = {
+            self.executor.current_uid: self.clock
+        }
+        # Section 6.5 extension state (driven by a StabilityCoordinator):
+        self._stable_own = self.clock[self.pid]   # flushed frontier entry
+        # pending outputs: (dedup key, clock at emission, value); volatile.
+        self._pending_outputs: list[
+            tuple[tuple, FaultTolerantVectorClock, Any]
+        ] = []
+        if self.config.commit_outputs:
+            # Commit keys are stable: a crash between commit and replay
+            # must not double-commit (the environment saw the value).
+            self.storage.put("committed_outputs", set())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        ctx = self.executor.bootstrap()
+        for send in ctx.sends:
+            self._register_send(send.dst, send.payload, transmit=True)
+        self.emit_outputs(ctx.outputs, replay=False)
+        # Checkpoint 0 is taken after bootstrap so a restart never needs to
+        # re-run the (unreplayable) initial sends.
+        self.take_checkpoint()
+        self.start_periodic_tasks()
+
+    def on_network_message(self, msg: NetworkMessage) -> None:
+        if msg.kind == "token":
+            self._receive_token(msg.payload)
+        elif msg.kind == "app":
+            self._receive_app(msg)
+        else:
+            raise ValueError(f"unexpected message kind {msg.kind!r}")
+
+    def on_crash(self) -> None:
+        lost = self.storage.on_crash()
+        self._held.clear()
+        self._send_log.clear()
+        self._delivered_ids.clear()
+        self._pending_outputs.clear()
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.CUSTOM,
+                self.pid,
+                what="volatile_lost",
+                unlogged=lost,
+            )
+
+    def on_restart(self) -> None:
+        """Section 6.2: restore, replay, token, new version, checkpoint."""
+        self.stats.restarts += 1
+        ckpt = self.storage.checkpoints.latest()
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.RESTORE,
+                self.pid,
+                ckpt_uid=ckpt.snapshot["uid"],
+                reason="restart",
+            )
+        self._restore_checkpoint(ckpt)
+        replayed = 0
+        for entry in self.storage.log.stable_entries(ckpt.log_position):
+            self._replay_entry(entry)
+            replayed += 1
+        failed_version = self.clock[self.pid].version
+        restored_ts = self.clock[self.pid].timestamp
+        token = RecoveryToken(
+            origin=self.pid,
+            version=failed_version,
+            timestamp=restored_ts,
+            full_clock=self.clock if self.config.retransmit_on_token else None,
+        )
+        self.storage.log_token(token)
+        self.host.broadcast(token, kind="token")
+        self.stats.tokens_sent += self.n - 1
+        self.stats.control_sent += self.n - 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.TOKEN_SEND,
+                self.pid,
+                version=failed_version,
+                timestamp=restored_ts,
+            )
+        self.clock = self.clock.restart(self.pid)
+        self.history.observe_token(token)
+        restored_uid = self.executor.begin_incarnation(
+            self.host.crash_count, self.clock[self.pid].version
+        )
+        self.clock_by_uid[self.executor.current_uid] = self.clock
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.RESTART,
+                self.pid,
+                failed_version=failed_version,
+                new_version=self.clock[self.pid].version,
+                restored_uid=restored_uid,
+                new_uid=self.executor.current_uid,
+                restored_ts=restored_ts,
+                replayed=replayed,
+            )
+        self.take_checkpoint()
+        # Tokens are logged synchronously precisely so a failure cannot
+        # forget them; re-apply every logged token to the restored history
+        # (re-application is idempotent and may trigger a further rollback
+        # if the restored suffix is an orphan of some other failure).
+        for logged in self.storage.tokens:
+            self._apply_token(logged)
+
+    # ------------------------------------------------------------------
+    # Receive message (Section 6.1)
+    # ------------------------------------------------------------------
+    def _receive_app(self, msg: NetworkMessage) -> None:
+        envelope: AppEnvelope = msg.payload
+        if self.history.is_obsolete(envelope.clock):
+            self.stats.app_discarded += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    EventKind.DISCARD,
+                    self.pid,
+                    msg_id=msg.msg_id,
+                    reason="obsolete",
+                )
+            return
+        missing = self.history.missing_tokens(envelope.clock)
+        if missing:
+            self._held.append(msg)
+            self.stats.app_postponed += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    EventKind.POSTPONE,
+                    self.pid,
+                    msg_id=msg.msg_id,
+                    awaiting=missing,
+                )
+            return
+        if (
+            self.config.retransmit_on_token
+            and envelope.dedup_id in self._delivered_ids
+        ):
+            self.stats.duplicates_discarded += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    EventKind.DISCARD,
+                    self.pid,
+                    msg_id=msg.msg_id,
+                    reason="duplicate",
+                )
+            return
+        self._deliver(msg)
+
+    def _deliver(self, msg: NetworkMessage) -> None:
+        envelope: AppEnvelope = msg.payload
+        self.history.observe_message_clock(envelope.clock)
+        self.clock = self.clock.merge(envelope.clock).tick(self.pid)
+        self._delivered_ids.add(envelope.dedup_id)
+        self.stats.app_delivered += 1
+        ctx = self.executor.execute(envelope.payload, msg_id=msg.msg_id)
+        self.clock_by_uid[self.executor.current_uid] = self.clock
+        # Log after execution so the entry can carry the uid of the state it
+        # created (needed for identity-preserving replay).  Receive and log
+        # are a single atomic simulator event, so this ordering is
+        # unobservable to the rest of the system.
+        self.storage.log.append(
+            msg.msg_id,
+            msg.src,
+            envelope.payload,
+            meta=(envelope.clock, envelope.dedup_id, self.executor.current_uid),
+        )
+        for send in ctx.sends:
+            self._register_send(send.dst, send.payload, transmit=True)
+        self.emit_outputs(ctx.outputs, replay=False)
+        self.note_delivery_for_checkpoint()
+
+    def _replay_entry(self, entry) -> None:
+        """Re-execute one logged receive; sends and outputs are suppressed
+        (piecewise determinism guarantees they equal the originals)."""
+        clock, dedup_id, uid = entry.meta
+        self.history.observe_message_clock(clock)
+        self.clock = self.clock.merge(clock).tick(self.pid)
+        self._delivered_ids.add(dedup_id)
+        self.stats.replayed += 1
+        ctx = self.executor.execute(
+            entry.payload, msg_id=entry.msg_id, replay=True, uid=uid
+        )
+        self.clock_by_uid[self.executor.current_uid] = self.clock
+        for send in ctx.sends:
+            self._register_send(send.dst, send.payload, transmit=False)
+        self.emit_outputs(ctx.outputs, replay=True)
+
+    def _register_send(self, dst: int, payload: Any, *, transmit: bool) -> None:
+        """Attach the current clock, remember send history, tick.
+
+        With ``transmit=False`` (replay) the message is not re-sent but the
+        clock and the dedup sequence advance exactly as they originally did,
+        keeping replayed state byte-identical to the lost original.
+        """
+        envelope = AppEnvelope(
+            payload=payload,
+            clock=self.clock,
+            dedup_id=(self.pid, self._send_seq),
+        )
+        self._send_seq += 1
+        if self.config.retransmit_on_token:
+            self._send_log.append(
+                _SendLogEntry(
+                    dst=dst,
+                    envelope=envelope,
+                    sender_uid=self.executor.current_uid,
+                )
+            )
+        if transmit:
+            sent = self.host.send(dst, envelope, kind="app")
+            self.stats.app_sent += 1
+            self.stats.piggyback_entries += envelope.clock.piggyback_entries()
+            self.stats.piggyback_bits += envelope.clock.wire_size_bits()
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    EventKind.SEND,
+                    self.pid,
+                    msg_id=sent.msg_id,
+                    dst=dst,
+                    uid=self.executor.current_uid,
+                    dedup=envelope.dedup_id,
+                )
+        self.clock = self.clock.tick(self.pid)
+
+    # ------------------------------------------------------------------
+    # Receive token (Section 6.3)
+    # ------------------------------------------------------------------
+    def _receive_token(self, token: RecoveryToken) -> None:
+        self.stats.tokens_received += 1
+        self.storage.log_token(token)   # synchronous write, before acting
+        self.stats.sync_log_writes += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.TOKEN_DELIVER,
+                self.pid,
+                origin=token.origin,
+                version=token.version,
+                timestamp=token.timestamp,
+            )
+        self._apply_token(token)
+        self._release_held()
+
+    def _apply_token(self, token: RecoveryToken) -> None:
+        """Orphan test, optional rollback, then install the token record."""
+        leftovers: list = []
+        if self.history.orphaned_by(token):
+            leftovers = self._rollback(token)
+        self.history.observe_token(token)
+        if (
+            self.config.retransmit_on_token
+            and token.full_clock is not None
+            and token.origin != self.pid
+        ):
+            self._retransmit_for(token)
+        # Section 6.5 Remark 1: "no message is lost" in a rollback.  Log
+        # entries past the orphan point were undone, but the non-obsolete
+        # ones among them are still perfectly good messages whose senders
+        # will never resend them; feed them back through the normal receive
+        # path (which re-checks obsoleteness against the now-installed
+        # token record and discards the rest).
+        for entry in leftovers:
+            clock, dedup_id, _old_uid = entry.meta
+            self._receive_app(
+                _ReplayedNetworkMessage(
+                    msg_id=entry.msg_id,
+                    src=entry.src,
+                    payload=self._rebuild_envelope(
+                        entry.payload, clock, dedup_id
+                    ),
+                )
+            )
+
+    def _rebuild_envelope(self, payload, clock, dedup_id):
+        """Reconstruct the wire envelope for a re-presented log entry
+        (subclasses with richer wire formats override this)."""
+        return AppEnvelope(payload=payload, clock=clock, dedup_id=dedup_id)
+
+    def _release_held(self) -> None:
+        """Re-examine postponed messages after a token arrived."""
+        held, self._held = self._held, []
+        for msg in held:
+            self._receive_app(msg)
+
+    # ------------------------------------------------------------------
+    # Rollback (Section 6.4)
+    # ------------------------------------------------------------------
+    def _rollback(self, token: RecoveryToken) -> list:
+        """Roll back to the latest non-orphan state.
+
+        Returns the truncated log entries (received after the orphan
+        point) so the caller can re-present the still-valid ones to the
+        receive path once the token record is installed.
+        """
+        # A non-failed process loses nothing: log everything first.
+        self.flush_log()
+        own_before = self.clock[self.pid]
+        ckpt = self.storage.checkpoints.latest_satisfying(
+            lambda c: c.extras["history"].survives_token(token)
+        )
+        if ckpt is None:
+            # Cannot happen: the initial checkpoint's history holds at most
+            # (mes, 0, 0/1) per process, which never exceeds a restoration
+            # point for its own version 0 and has no record for higher
+            # versions.
+            raise RuntimeError(
+                f"P{self.pid}: no non-orphan checkpoint for {token!r}"
+            )
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.RESTORE,
+                self.pid,
+                ckpt_uid=ckpt.snapshot["uid"],
+                reason="rollback",
+            )
+        self._restore_checkpoint(ckpt)
+        self.storage.checkpoints.discard_after(ckpt)
+        position = ckpt.log_position
+        replayed = 0
+        for entry in self.storage.log.stable_entries(position):
+            clock, _, _ = entry.meta
+            e = clock[token.origin]
+            if e.version == token.version and e.timestamp > token.timestamp:
+                break   # first orphan message: stop before it
+            self._replay_entry(entry)
+            replayed += 1
+        leftovers = list(self.storage.log.stable_entries(position + replayed))
+        discarded = self.storage.log.truncate(position + replayed)
+        if self.clock[self.pid].version == own_before.version:
+            # Figure 4's rollback rule: bump the timestamp, keep the version.
+            self.clock = self.clock.tick(self.pid)
+        else:
+            # The surviving checkpoint predates one of our own restarts, so
+            # the restored clock carries an older version.  Regressing to it
+            # would mint version-v timestamps beyond the restoration point
+            # we already announced for v (making our own token declare our
+            # fresh states obsolete).  The version must never move backwards:
+            # continue the *current* incarnation instead, with a timestamp
+            # above everything it has used.
+            entries = list(self.clock.entries)
+            entries[self.pid] = type(own_before)(
+                own_before.version, own_before.timestamp + 1
+            )
+            self.clock = FaultTolerantVectorClock(entries)
+        restored_uid = self.executor.new_recovery_state()
+        self.clock_by_uid[self.executor.current_uid] = self.clock
+        self._stable_own = self.clock[self.pid]
+        # Tokens are durable facts; reinstate every logged one over the
+        # restored (older) history.
+        for logged in self.storage.tokens:
+            self.history.observe_token(logged)
+        self.stats.note_rollback(token.origin, token.version)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.ROLLBACK,
+                self.pid,
+                origin=token.origin,
+                version=token.version,
+                timestamp=token.timestamp,
+                restored_uid=restored_uid,
+                new_uid=self.executor.current_uid,
+                replayed=replayed,
+                discarded_log_entries=discarded,
+            )
+        return leftovers
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def checkpoint_extras(self) -> dict[str, Any]:
+        extras: dict[str, Any] = {
+            "clock": self.clock,
+            "history": self.history.snapshot(),
+            "send_seq": self._send_seq,
+        }
+        if self.config.retransmit_on_token:
+            extras["delivered_ids"] = set(self._delivered_ids)
+            extras["send_log"] = list(self._send_log)
+        return extras
+
+    def _restore_checkpoint(self, ckpt) -> None:
+        self.executor.restore(ckpt.snapshot)
+        self.clock = ckpt.extras["clock"]
+        self.history = ckpt.extras["history"].snapshot()
+        self._send_seq = ckpt.extras["send_seq"]
+        self._pending_outputs = []    # replay re-emits what still matters
+        if self.config.retransmit_on_token:
+            self._delivered_ids = set(ckpt.extras.get("delivered_ids", set()))
+            self._send_log = list(ckpt.extras.get("send_log", []))
+        else:
+            self._delivered_ids = set()
+            self._send_log = []
+
+    # ------------------------------------------------------------------
+    # Remark-1 extension: retransmission of possibly-lost messages
+    # ------------------------------------------------------------------
+    def _retransmit_for(self, token: RecoveryToken) -> None:
+        """Resend logged sends to the failed process that the restored
+        state may not reflect.
+
+        The paper's Remark 1 says to resend sends *concurrent* with the
+        token's state.  We resend every send that does not causally follow
+        the restored state -- concurrent or happened-before -- because a
+        message whose send precedes the restored state through some other
+        path can still have been received inside the lost suffix.
+        Receiver-side dedup ids make the superset harmless.
+        """
+        assert token.full_clock is not None
+        for entry in self._send_log:
+            if entry.dst != token.origin:
+                continue
+            if not (token.full_clock <= entry.envelope.clock):
+                sent = self.host.send(entry.dst, entry.envelope, kind="app")
+                self.stats.retransmitted += 1
+                self.stats.app_sent += 1
+                self.stats.piggyback_entries += (
+                    entry.envelope.clock.piggyback_entries()
+                )
+                self.stats.piggyback_bits += (
+                    entry.envelope.clock.wire_size_bits()
+                )
+                if self.trace is not None:
+                    self.trace.record(
+                        self.sim.now,
+                        EventKind.SEND,
+                        self.pid,
+                        msg_id=sent.msg_id,
+                        dst=entry.dst,
+                        uid=entry.sender_uid,
+                        dedup=entry.envelope.dedup_id,
+                        retransmit=True,
+                    )
+
+    # ------------------------------------------------------------------
+    # Section 6.5 extensions: output commit and garbage collection
+    # ------------------------------------------------------------------
+    def flush_log(self) -> int:
+        moved = super().flush_log()
+        # Everything delivered so far is now reconstructible from stable
+        # storage; our own-entry becomes part of the global stable frontier.
+        self._stable_own = self.clock[self.pid]
+        return moved
+
+    def stable_frontier(self):
+        """The own clock entry of our latest stable-storage-recoverable
+        state, reported to the StabilityCoordinator."""
+        return self._stable_own
+
+    def emit_outputs(self, records, *, replay: bool) -> None:
+        if not self.config.commit_outputs:
+            super().emit_outputs(records, replay=replay)
+            return
+        committed: set = self.storage.get("committed_outputs")
+        uid = self.executor.current_uid
+        for index, record in enumerate(records):
+            key = (uid, index)
+            if key in committed:
+                continue
+            self._pending_outputs.append((key, self.clock, record.value))
+            if not replay and self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    EventKind.OUTPUT,
+                    self.pid,
+                    value=record.value,
+                    uid=uid,
+                    committed=False,
+                )
+
+    def _entry_permanently_safe(self, j: int, entry, frontier) -> bool:
+        """Can the dependence on ``(j, entry)`` ever be rolled back?
+
+        Safe iff the state is within a restored prefix (attested by a
+        token: replayed from stable storage, immune forever) or within
+        ``j``'s current flushed frontier.
+        """
+        record = self.history.record(j, entry.version)
+        from repro.core.history import RecordKind
+
+        if (
+            record is not None
+            and record.kind is RecordKind.TOKEN
+            and entry.timestamp <= record.timestamp
+        ):
+            return True
+        front = frontier.get(j)
+        return (
+            front is not None
+            and entry.version == front.version
+            and entry.timestamp <= front.timestamp
+        )
+
+    def _clock_permanently_safe(self, clock, frontier) -> bool:
+        return all(
+            self._entry_permanently_safe(j, entry, frontier)
+            for j, entry in enumerate(clock)
+        )
+
+    def apply_stability(self, frontier) -> tuple[int, int, int]:
+        """One coordinator sweep: commit safe outputs, reclaim space.
+
+        Returns ``(outputs committed, checkpoints collected, log entries
+        collected)`` for the coordinator's stats.
+        """
+        committed_count = 0
+        if self.config.commit_outputs and self._pending_outputs:
+            committed: set = self.storage.get("committed_outputs")
+            still_pending = []
+            for key, clock, value in self._pending_outputs:
+                if self._clock_permanently_safe(clock, frontier):
+                    committed.add(key)
+                    self.outputs.append((self.sim.now, value))
+                    committed_count += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            self.sim.now,
+                            EventKind.OUTPUT,
+                            self.pid,
+                            value=value,
+                            uid=key[0],
+                            committed=True,
+                        )
+                else:
+                    still_pending.append((key, clock, value))
+            self._pending_outputs = still_pending
+
+        ckpts_collected = 0
+        entries_collected = 0
+        if self.config.enable_gc:
+            anchor = None
+            for ckpt in self.storage.checkpoints:
+                if self._clock_permanently_safe(
+                    ckpt.extras["clock"], frontier
+                ):
+                    anchor = ckpt
+            if anchor is not None:
+                ckpts_collected = (
+                    self.storage.checkpoints.garbage_collect_before(
+                        anchor.ckpt_id
+                    )
+                )
+                entries_collected = self.storage.log.discard_prefix(
+                    anchor.log_position
+                )
+        return committed_count, ckpts_collected, entries_collected
+
+    # ------------------------------------------------------------------
+    # Harness introspection
+    # ------------------------------------------------------------------
+    def piggyback_entry_count(self) -> int:
+        """O(n): one (version, timestamp) pair per process."""
+        return self.clock.piggyback_entries()

@@ -1,0 +1,44 @@
+"""Recovery tokens (paper Section 5).
+
+After recovering from a failure, a process broadcasts a token carrying the
+*failed* version number and the timestamp of that version at the point of
+restoration.  The token is the only control message the protocol ever
+sends; its size is one clock entry (Section 6.9).
+
+The optional ``full_clock`` field implements the paper's Remark 1: if the
+failed process also broadcasts its whole clock, other processes can resend
+messages whose sends were concurrent with the restored state, recovering
+messages that were received but not yet logged at the failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.ftvc import FaultTolerantVectorClock
+
+
+@dataclass(frozen=True)
+class RecoveryToken:
+    """``(origin, version, timestamp)``: "version ``version`` of process
+    ``origin`` failed; its states with timestamps > ``timestamp`` are lost"."""
+
+    origin: int
+    version: int
+    timestamp: int
+    full_clock: "FaultTolerantVectorClock | None" = None
+
+    def __post_init__(self) -> None:
+        if self.origin < 0 or self.version < 0 or self.timestamp < 0:
+            raise ValueError(f"bad token {self!r}")
+
+    def piggyback_entries(self) -> int:
+        """Clock entries carried: 1, or n with the Remark-1 extension."""
+        if self.full_clock is not None:
+            return self.full_clock.piggyback_entries()
+        return 1
+
+    def __repr__(self) -> str:
+        return f"Token(P{self.origin} v{self.version} ts{self.timestamp})"

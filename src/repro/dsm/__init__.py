@@ -1,0 +1,47 @@
+"""Distributed Shared Memory on top of the message-passing substrate.
+
+The paper (Section 2) points out that "by using the technique presented in
+[7], recovery algorithms for message passing architecture can be extended
+to Distributed Shared Memory" (see also its references [18, 23, 24] on
+recoverable DSM).  This package makes the claim concrete: a
+sequentially-consistent, write-invalidate DSM implemented as a
+piecewise-deterministic application, so the *unchanged* recovery protocols
+transparently give it rollback recovery.
+
+- :class:`~repro.dsm.coherence.DSMApp` -- home-based pages, read caching,
+  write-invalidate with invalidation acknowledgements (writes commit only
+  after every cached copy is invalidated, which is what makes the memory
+  sequentially consistent), and an atomic fetch-and-add.
+- Invariants checked by the tests after crashes and rollbacks: dense
+  per-page version sequences at homes, reads always return some committed
+  write, per-worker version monotonicity, and no lost or duplicated
+  fetch-and-add increments in the surviving history.
+"""
+
+from repro.dsm.coherence import (
+    DSMApp,
+    DSMFetchAdd,
+    DSMFetchAddAck,
+    DSMInvAck,
+    DSMInvalidate,
+    DSMRead,
+    DSMReadData,
+    DSMWrite,
+    DSMWriteAck,
+    HomeState,
+    WorkerState,
+)
+
+__all__ = [
+    "DSMApp",
+    "DSMFetchAdd",
+    "DSMFetchAddAck",
+    "DSMInvAck",
+    "DSMInvalidate",
+    "DSMRead",
+    "DSMReadData",
+    "DSMWrite",
+    "DSMWriteAck",
+    "HomeState",
+    "WorkerState",
+]

@@ -1,0 +1,459 @@
+"""Write-invalidate DSM coherence as a piecewise-deterministic application.
+
+Topology: processes ``0 .. homes-1`` are *home nodes* (page ``p`` lives at
+``p % homes``); the remaining processes are *workers* running a
+deterministic mix of reads, writes and fetch-and-adds with one operation
+outstanding each.
+
+Coherence protocol (home-based, write-invalidate, sequentially consistent):
+
+- **read**: the home adds the reader to the page's copyset and returns the
+  current ``(value, version)``; the worker caches it.  Reads arriving while
+  a write is in flight are deferred behind it, so no reader can slip a
+  stale copy past a committing write.
+- **write / fetch-add**: if any *other* process caches the page, the home
+  queues the operation, sends invalidations, and commits only when every
+  invalidation is acknowledged; then it bumps the version, appends to the
+  page's write log, and acknowledges the writer (who becomes the sole
+  cached copy).  Queued operations on a page commit strictly in arrival
+  order.
+- **fetch-add** computes its result at commit time, which is what makes it
+  atomic: no two increments can read the same base value.
+
+Everything -- queues, copysets, pending invalidations -- lives in the home
+*state*, so checkpoint/replay recovery applies to the protocol machinery
+itself, not just the page contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.apps.applications import mix64
+from repro.sim.process import ProcessContext
+
+
+# ---------------------------------------------------------------------------
+# Wire types
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DSMRead:
+    page: int
+    reader: int
+    req: int
+
+
+@dataclass(frozen=True)
+class DSMWrite:
+    page: int
+    value: int
+    writer: int
+    req: int
+
+
+@dataclass(frozen=True)
+class DSMFetchAdd:
+    page: int
+    delta: int
+    writer: int
+    req: int
+
+
+@dataclass(frozen=True)
+class DSMReadData:
+    page: int
+    value: int
+    version: int
+    req: int
+
+
+@dataclass(frozen=True)
+class DSMWriteAck:
+    page: int
+    value: int
+    version: int
+    req: int
+
+
+@dataclass(frozen=True)
+class DSMFetchAddAck:
+    page: int
+    value: int              # the post-increment value
+    version: int
+    req: int
+
+
+@dataclass(frozen=True)
+class DSMInvalidate:
+    page: int
+    home: int
+
+
+@dataclass(frozen=True)
+class DSMInvAck:
+    page: int
+    sender: int
+
+
+# ---------------------------------------------------------------------------
+# Home state
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _PendingOp:
+    """A queued write/fetch-add: commit when ``awaiting`` empties."""
+
+    kind: str                       # "write" | "fetchadd"
+    page: int
+    operand: int                    # value for write, delta for fetchadd
+    writer: int
+    req: int
+    awaiting: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HomeState:
+    """All per-page machinery, immutably."""
+
+    #: page -> (value, version)
+    pages: tuple[tuple[int, tuple[int, int]], ...] = ()
+    #: page -> caching pids
+    copysets: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    #: queued operations, oldest first (only the head of each page's queue
+    #: has invalidations outstanding)
+    pending: tuple[_PendingOp, ...] = ()
+    #: reads deferred behind in-flight writes: (page, reader, req)
+    deferred_reads: tuple[tuple[int, int, int], ...] = ()
+    #: append-only commit history: (page, version, value, writer, kind)
+    write_log: tuple[tuple[int, int, int, int, str], ...] = ()
+
+    # -- accessors ------------------------------------------------------
+    def page_entry(self, page: int) -> tuple[int, int]:
+        for p, entry in self.pages:
+            if p == page:
+                return entry
+        return (0, 0)
+
+    def copyset(self, page: int) -> tuple[int, ...]:
+        for p, members in self.copysets:
+            if p == page:
+                return members
+        return ()
+
+    def has_pending(self, page: int) -> bool:
+        return any(op.page == page for op in self.pending)
+
+    # -- functional updates ---------------------------------------------
+    def with_page(self, page: int, value: int, version: int) -> "HomeState":
+        pages = dict(self.pages)
+        pages[page] = (value, version)
+        return self._replace(pages=tuple(sorted(pages.items())))
+
+    def with_copyset(self, page: int, members: tuple[int, ...]) -> "HomeState":
+        copysets = dict(self.copysets)
+        copysets[page] = tuple(sorted(set(members)))
+        return self._replace(copysets=tuple(sorted(copysets.items())))
+
+    def _replace(self, **changes: Any) -> "HomeState":
+        fields = {
+            "pages": self.pages,
+            "copysets": self.copysets,
+            "pending": self.pending,
+            "deferred_reads": self.deferred_reads,
+            "write_log": self.write_log,
+        }
+        fields.update(changes)
+        return HomeState(**fields)
+
+
+# ---------------------------------------------------------------------------
+# Worker state
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerState:
+    ops_sent: int = 0
+    replies: int = 0
+    adds_acked: int = 0
+    #: page -> (value, version) of the cached copy
+    cache: tuple[tuple[int, tuple[int, int]], ...] = ()
+    #: every value this worker ever observed: (page, version, value)
+    reads_log: tuple[tuple[int, int, int], ...] = ()
+
+    def cached(self, page: int) -> tuple[int, int] | None:
+        for p, entry in self.cache:
+            if p == page:
+                return entry
+        return None
+
+    def with_cache(self, page: int, entry: tuple[int, int] | None) -> "WorkerState":
+        cache = dict(self.cache)
+        if entry is None:
+            cache.pop(page, None)
+        else:
+            cache[page] = entry
+        return WorkerState(
+            ops_sent=self.ops_sent,
+            replies=self.replies,
+            adds_acked=self.adds_acked,
+            cache=tuple(sorted(cache.items())),
+            reads_log=self.reads_log,
+        )
+
+
+class DSMApp:
+    """The DSM application (home or worker, switched on pid)."""
+
+    def __init__(
+        self,
+        *,
+        homes: int = 1,
+        pages: int = 4,
+        ops_per_worker: int = 30,
+    ) -> None:
+        if homes < 1 or pages < 1:
+            raise ValueError("need at least one home and one page")
+        self.homes = homes
+        self.pages = pages
+        self.ops_per_worker = ops_per_worker
+
+    def is_home(self, pid: int) -> bool:
+        return pid < self.homes
+
+    def home_of(self, page: int) -> int:
+        return page % self.homes
+
+    # ------------------------------------------------------------------
+    # Application protocol
+    # ------------------------------------------------------------------
+    def initial_state(self, pid: int, n: int) -> Any:
+        if self.is_home(pid):
+            return HomeState()
+        return WorkerState(ops_sent=1 if self.homes < n else 0)
+
+    def bootstrap(self, pid: int, n: int, ctx: ProcessContext) -> None:
+        if self.is_home(pid) or self.homes >= n:
+            return
+        self._issue_op(0, pid, ctx)
+
+    def handle(self, state: Any, payload: Any, ctx: ProcessContext) -> Any:
+        if self.is_home(ctx.pid):
+            return self._home_handle(state, payload, ctx)
+        return self._worker_handle(state, payload, ctx)
+
+    # ------------------------------------------------------------------
+    # Home side
+    # ------------------------------------------------------------------
+    def _home_handle(
+        self, state: HomeState, payload: Any, ctx: ProcessContext
+    ) -> HomeState:
+        if isinstance(payload, DSMRead):
+            if state.has_pending(payload.page):
+                # Serialize reads behind in-flight writes.
+                return state._replace(
+                    deferred_reads=state.deferred_reads
+                    + ((payload.page, payload.reader, payload.req),)
+                )
+            return self._serve_read(
+                state, payload.page, payload.reader, payload.req, ctx
+            )
+        if isinstance(payload, (DSMWrite, DSMFetchAdd)):
+            kind = "write" if isinstance(payload, DSMWrite) else "fetchadd"
+            operand = (
+                payload.value if isinstance(payload, DSMWrite) else payload.delta
+            )
+            op = _PendingOp(
+                kind=kind,
+                page=payload.page,
+                operand=operand,
+                writer=payload.writer,
+                req=payload.req,
+                awaiting=(),
+            )
+            return self._enqueue_op(state, op, ctx)
+        if isinstance(payload, DSMInvAck):
+            return self._apply_inv_ack(state, payload, ctx)
+        raise TypeError(f"home got {payload!r}")
+
+    def _serve_read(
+        self, state: HomeState, page: int, reader: int, req: int,
+        ctx: ProcessContext,
+    ) -> HomeState:
+        value, version = state.page_entry(page)
+        ctx.send(reader, DSMReadData(page=page, value=value,
+                                     version=version, req=req))
+        return state.with_copyset(page, state.copyset(page) + (reader,))
+
+    def _enqueue_op(
+        self, state: HomeState, op: _PendingOp, ctx: ProcessContext
+    ) -> HomeState:
+        if state.has_pending(op.page):
+            # Behind an in-flight op: queue; it starts when the head commits.
+            return state._replace(pending=state.pending + (op,))
+        return self._start_op(state, op, ctx)
+
+    def _start_op(
+        self, state: HomeState, op: _PendingOp, ctx: ProcessContext
+    ) -> HomeState:
+        others = tuple(
+            pid for pid in state.copyset(op.page) if pid != op.writer
+        )
+        if not others:
+            return self._commit_op(state, op, ctx)
+        for pid in others:
+            ctx.send(pid, DSMInvalidate(page=op.page, home=ctx.pid))
+        started = _PendingOp(
+            kind=op.kind,
+            page=op.page,
+            operand=op.operand,
+            writer=op.writer,
+            req=op.req,
+            awaiting=others,
+        )
+        return state._replace(pending=state.pending + (started,))
+
+    def _commit_op(
+        self, state: HomeState, op: _PendingOp, ctx: ProcessContext
+    ) -> HomeState:
+        value, version = state.page_entry(op.page)
+        if op.kind == "write":
+            new_value = op.operand
+        else:
+            new_value = value + op.operand
+        new_version = version + 1
+        state = state.with_page(op.page, new_value, new_version)
+        state = state.with_copyset(op.page, (op.writer,))
+        state = state._replace(
+            write_log=state.write_log
+            + ((op.page, new_version, new_value, op.writer, op.kind),)
+        )
+        ack_type = DSMWriteAck if op.kind == "write" else DSMFetchAddAck
+        ctx.send(
+            op.writer,
+            ack_type(page=op.page, value=new_value, version=new_version,
+                     req=op.req),
+        )
+        return self._drain_page_queue(state, op.page, ctx)
+
+    def _drain_page_queue(
+        self, state: HomeState, page: int, ctx: ProcessContext
+    ) -> HomeState:
+        """After a commit: serve deferred reads, then start the next
+        queued op for this page (if any)."""
+        ready_reads = [r for r in state.deferred_reads if r[0] == page]
+        state = state._replace(
+            deferred_reads=tuple(
+                r for r in state.deferred_reads if r[0] != page
+            )
+        )
+        for _page, reader, req in ready_reads:
+            state = self._serve_read(state, page, reader, req, ctx)
+        queue = [op for op in state.pending if op.page == page]
+        if not queue:
+            return state
+        head, rest = queue[0], queue[1:]
+        state = state._replace(
+            pending=tuple(
+                op for op in state.pending if op.page != page
+            ) + tuple(rest)
+        )
+        return self._start_op(state, head, ctx)
+
+    def _apply_inv_ack(
+        self, state: HomeState, ack: DSMInvAck, ctx: ProcessContext
+    ) -> HomeState:
+        updated: list[_PendingOp] = []
+        committed: _PendingOp | None = None
+        for op in state.pending:
+            if (
+                committed is None
+                and op.page == ack.page
+                and ack.sender in op.awaiting
+            ):
+                remaining = tuple(
+                    pid for pid in op.awaiting if pid != ack.sender
+                )
+                if remaining:
+                    updated.append(
+                        _PendingOp(op.kind, op.page, op.operand, op.writer,
+                                   op.req, remaining)
+                    )
+                else:
+                    committed = op
+            else:
+                updated.append(op)
+        state = state._replace(pending=tuple(updated))
+        if committed is not None:
+            state = self._commit_op(state, committed, ctx)
+        return state
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_handle(
+        self, state: WorkerState, payload: Any, ctx: ProcessContext
+    ) -> WorkerState:
+        if isinstance(payload, DSMInvalidate):
+            ctx.send(payload.home, DSMInvAck(page=payload.page,
+                                             sender=ctx.pid))
+            return state.with_cache(payload.page, None)
+        if isinstance(payload, DSMReadData):
+            state = state.with_cache(
+                payload.page, (payload.value, payload.version)
+            )
+            return self._complete_op(
+                state, payload.page, payload.value, payload.version,
+                added=0, ctx=ctx,
+            )
+        if isinstance(payload, DSMWriteAck):
+            state = state.with_cache(
+                payload.page, (payload.value, payload.version)
+            )
+            return self._complete_op(
+                state, payload.page, payload.value, payload.version,
+                added=0, ctx=ctx,
+            )
+        if isinstance(payload, DSMFetchAddAck):
+            state = state.with_cache(
+                payload.page, (payload.value, payload.version)
+            )
+            return self._complete_op(
+                state, payload.page, payload.value, payload.version,
+                added=1, ctx=ctx,
+            )
+        raise TypeError(f"worker got {payload!r}")
+
+    def _complete_op(
+        self, state: WorkerState, page: int, value: int, version: int,
+        *, added: int, ctx: ProcessContext,
+    ) -> WorkerState:
+        state = WorkerState(
+            ops_sent=state.ops_sent,
+            replies=state.replies + 1,
+            adds_acked=state.adds_acked + added,
+            cache=state.cache,
+            reads_log=state.reads_log + ((page, version, value),),
+        )
+        if state.ops_sent < self.ops_per_worker:
+            self._issue_op(state.ops_sent, ctx.pid, ctx)
+            state = WorkerState(
+                ops_sent=state.ops_sent + 1,
+                replies=state.replies,
+                adds_acked=state.adds_acked,
+                cache=state.cache,
+                reads_log=state.reads_log,
+            )
+        return state
+
+    def _issue_op(self, seq: int, pid: int, ctx: ProcessContext) -> None:
+        h = mix64(pid * 104729 + 7, seq)
+        page = h % self.pages
+        home = self.home_of(page)
+        choice = (h >> 8) % 3
+        if choice == 0:
+            ctx.send(home, DSMRead(page=page, reader=pid, req=seq))
+        elif choice == 1:
+            ctx.send(home, DSMWrite(page=page, value=h & 0xFFFF,
+                                    writer=pid, req=seq))
+        else:
+            ctx.send(home, DSMFetchAdd(page=page, delta=1,
+                                       writer=pid, req=seq))

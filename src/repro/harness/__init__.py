@@ -1,0 +1,34 @@
+"""Experiment harness: runner, figure scenarios, Table 1 battery, reporting."""
+
+from repro.harness.comparison import (
+    ComparisonRow,
+    measure_protocol,
+    run_table1,
+)
+from repro.harness.reporting import (
+    format_table,
+    render_paper_comparison,
+    render_table1,
+)
+from repro.harness.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.harness.scenarios import ScenarioResult, ScriptedApp, figure1, figure5
+
+__all__ = [
+    "ComparisonRow",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ScenarioResult",
+    "ScriptedApp",
+    "figure1",
+    "figure5",
+    "format_table",
+    "measure_protocol",
+    "render_paper_comparison",
+    "render_table1",
+    "run_experiment",
+    "run_table1",
+]

@@ -1,0 +1,198 @@
+"""The Table 1 experiment: measure every protocol on the same workloads.
+
+The paper's Table 1 states five properties per protocol.  Here each cell
+is *measured* by running the protocol on a standard battery:
+
+- **message ordering** -- the protocol's published assumption, plus an
+  empirical run under arbitrary reordering for the protocols that claim
+  independence from ordering;
+- **asynchronous recovery** -- whether a restarted process resumed without
+  waiting (measured: recovery-time blocking at the failed process);
+- **max rollbacks per failure** -- the worst count, over all processes and
+  seeds, of rollbacks attributed to one root failure;
+- **timestamps in vector clock** -- measured piggyback entries per
+  application message;
+- **concurrent failures** -- whether two simultaneous crashes recover
+  safely (oracle-checked).
+
+Safety is oracle-checked on every run; a protocol that violated safety
+would fail the battery outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.consistency import check_recovery
+from repro.apps import RandomRoutingApp
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.coordinated import CoordinatedProcess
+from repro.protocols.pessimistic_receiver import PessimisticReceiverProcess
+from repro.protocols.peterson_kearns import PetersonKearnsProcess
+from repro.protocols.sender_based import SenderBasedProcess
+from repro.protocols.sistla_welch import SistlaWelchProcess
+from repro.protocols.smith_johnson_tygar import SmithJohnsonTygarProcess
+from repro.protocols.strom_yemini import StromYeminiProcess
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+#: The Table 1 rows, in the paper's order, plus the two context baselines.
+TABLE1_PROTOCOLS = [
+    StromYeminiProcess,
+    SenderBasedProcess,
+    SistlaWelchProcess,
+    PetersonKearnsProcess,
+    SmithJohnsonTygarProcess,
+    DamaniGargProcess,
+]
+
+CONTEXT_PROTOCOLS = [
+    PessimisticReceiverProcess,
+    CoordinatedProcess,
+]
+
+#: The paper's published Table 1 entries, for side-by-side reporting.
+PAPER_TABLE1 = {
+    "Strom-Yemini": ("FIFO", "Yes", "O(2^n)", "O(n)", "1"),
+    "Sender-based (Johnson-Zwaenepoel)": ("None", "No", "1", "O(1)", "n"),
+    "Sistla-Welch": ("FIFO", "No", "1", "O(n)", "1"),
+    "Peterson-Kearns": ("FIFO", "No", "1", "O(n)", "1"),
+    "Smith-Johnson-Tygar": ("None", "Yes", "1", "O(n^2 f)", "n"),
+    "Damani-Garg": ("None", "Yes", "1", "O(n)", "n"),
+}
+
+
+@dataclass
+class ComparisonRow:
+    """Measured Table 1 cells for one protocol."""
+
+    name: str
+    ordering_assumption: str
+    asynchronous_recovery: bool
+    recovery_blocked_time: float
+    max_rollbacks_per_failure: int
+    total_rollbacks: int
+    piggyback_entries_per_message: float
+    concurrent_failures_safe: bool | None
+    safety_ok: bool
+    runs: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def paper_row(self) -> tuple[str, ...] | None:
+        return PAPER_TABLE1.get(self.name)
+
+
+def _grade_kwargs(protocol_cls) -> dict:
+    """Which oracle checks the protocol actually promises."""
+    promises_minimal = protocol_cls not in (
+        StromYeminiProcess,
+        CoordinatedProcess,
+    )
+    return {
+        "expect_minimal_rollback": promises_minimal,
+        "expect_maximum_recovery": promises_minimal,
+        "expect_single_rollback_per_failure": protocol_cls
+        not in (StromYeminiProcess, CoordinatedProcess),
+    }
+
+
+def measure_protocol(
+    protocol_cls,
+    *,
+    n: int = 4,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4, 5),
+    horizon: float = 110.0,
+) -> ComparisonRow:
+    """Run the standard battery for one protocol and fill a row."""
+    order = (
+        DeliveryOrder.FIFO
+        if protocol_cls.requires_fifo
+        else DeliveryOrder.RANDOM
+    )
+    config = ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5)
+    app = RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3)
+    grade = _grade_kwargs(protocol_cls)
+
+    safety_ok = True
+    max_rollbacks = 0
+    total_rollbacks = 0
+    piggyback_total = 0
+    sent_total = 0
+    failed_blocked = 0.0
+    runs = 0
+    notes: list[str] = []
+
+    # Battery 1: single failure.
+    for seed in seeds:
+        spec = ExperimentSpec(
+            n=n, app=app, protocol=protocol_cls,
+            crashes=CrashPlan().crash(20.0, 1, 2.0),
+            seed=seed, horizon=horizon, order=order, config=config,
+        )
+        result = run_experiment(spec)
+        runs += 1
+        verdict = check_recovery(result, **grade)
+        safety_ok &= verdict.ok
+        if not verdict.ok:
+            notes.append(f"single-failure seed {seed}: {verdict.violations[:1]}")
+        max_rollbacks = max(
+            max_rollbacks, result.max_rollbacks_for_single_failure()
+        )
+        total_rollbacks += result.total_rollbacks
+        piggyback_total += result.total("piggyback_entries")
+        sent_total += result.total("app_sent")
+        failed_blocked += result.protocols[1].stats.blocked_time
+
+    # Battery 2: two concurrent failures (only meaningful if claimed).
+    concurrent_safe: bool | None
+    if protocol_cls.tolerates_concurrent_failures:
+        concurrent_safe = True
+        for seed in seeds[:3]:
+            spec = ExperimentSpec(
+                n=n, app=app, protocol=protocol_cls,
+                crashes=CrashPlan().concurrent(25.0, [0, 2], 3.0),
+                seed=seed, horizon=horizon, order=order, config=config,
+            )
+            result = run_experiment(spec)
+            runs += 1
+            verdict = check_recovery(result, **grade)
+            concurrent_safe &= verdict.ok
+            max_rollbacks = max(
+                max_rollbacks, result.max_rollbacks_for_single_failure()
+            )
+    else:
+        concurrent_safe = None    # outside the protocol's contract
+
+    return ComparisonRow(
+        name=protocol_cls.name,
+        ordering_assumption="FIFO" if protocol_cls.requires_fifo else "None",
+        asynchronous_recovery=protocol_cls.asynchronous_recovery,
+        recovery_blocked_time=failed_blocked / max(1, len(seeds)),
+        max_rollbacks_per_failure=max_rollbacks,
+        total_rollbacks=total_rollbacks,
+        piggyback_entries_per_message=piggyback_total / max(1, sent_total),
+        concurrent_failures_safe=concurrent_safe,
+        safety_ok=safety_ok,
+        runs=runs,
+        notes=notes,
+    )
+
+
+def run_table1(
+    *,
+    n: int = 4,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4, 5),
+    include_context: bool = True,
+) -> list[ComparisonRow]:
+    """Measure every Table 1 row (plus the context baselines)."""
+    protocols = list(TABLE1_PROTOCOLS)
+    if include_context:
+        protocols = protocols + CONTEXT_PROTOCOLS
+    return [
+        measure_protocol(protocol_cls, n=n, seeds=seeds)
+        for protocol_cls in protocols
+    ]

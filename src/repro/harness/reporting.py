@@ -1,0 +1,96 @@
+"""ASCII rendering of experiment results, matching the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.harness.comparison import ComparisonRow
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]]
+) -> str:
+    """Monospace table with column auto-sizing."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "  ".join("-" * w for w in widths)
+    out = [line(headers), separator]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def render_table1(rows: list[ComparisonRow]) -> str:
+    """The measured Table 1, in the paper's column order."""
+    headers = [
+        "Protocol",
+        "Ordering",
+        "Async recovery",
+        "Max rollbacks/failure",
+        "Piggyback entries/msg",
+        "Concurrent failures",
+        "Safety",
+    ]
+    body = []
+    for row in rows:
+        concurrent = (
+            "n (safe)"
+            if row.concurrent_failures_safe
+            else "1 (not claimed)"
+            if row.concurrent_failures_safe is None
+            else "UNSAFE"
+        )
+        body.append(
+            [
+                row.name,
+                row.ordering_assumption,
+                "Yes"
+                if row.asynchronous_recovery
+                else f"No (blocked {row.recovery_blocked_time:.2f})",
+                str(row.max_rollbacks_per_failure),
+                f"{row.piggyback_entries_per_message:.1f}",
+                concurrent,
+                "ok" if row.safety_ok else "VIOLATED",
+            ]
+        )
+    return format_table(headers, body)
+
+
+def render_paper_comparison(rows: list[ComparisonRow]) -> str:
+    """Measured values side by side with the paper's published cells."""
+    headers = [
+        "Protocol",
+        "Ordering (paper/ours)",
+        "Async (paper/ours)",
+        "Rollbacks (paper/ours)",
+        "Clock size (paper/ours)",
+        "Concurrent (paper/ours)",
+    ]
+    body = []
+    for row in rows:
+        paper = row.paper_row
+        if paper is None:
+            continue
+        p_order, p_async, p_roll, p_clock, p_conc = paper
+        ours_conc = (
+            "n" if row.concurrent_failures_safe else "1"
+            if row.concurrent_failures_safe is None else "FAIL"
+        )
+        body.append(
+            [
+                row.name,
+                f"{p_order} / {row.ordering_assumption}",
+                f"{p_async} / "
+                f"{'Yes' if row.asynchronous_recovery else 'No'}",
+                f"{p_roll} / {row.max_rollbacks_per_failure}",
+                f"{p_clock} / {row.piggyback_entries_per_message:.1f}",
+                f"{p_conc} / {ours_conc}",
+            ]
+        )
+    return format_table(headers, body)

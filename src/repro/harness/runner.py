@@ -1,0 +1,159 @@
+"""The experiment runner: protocol x workload x failure schedule -> result.
+
+A single entry point, :func:`run_experiment`, assembles the full stack
+(simulator, network, hosts, protocol processes, failure injector), runs it,
+and returns an :class:`ExperimentResult` bundling the ground-truth trace,
+per-process protocol stats and the live protocol objects for inspection.
+Everything is driven by an :class:`ExperimentSpec`, which is plain data so
+sweeps are trivial to express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.protocols.base import (
+    BaseRecoveryProcess,
+    ProtocolConfig,
+    ProtocolStats,
+)
+from repro.sim.failures import CrashPlan, FailureInjector, PartitionPlan
+from repro.sim.kernel import Simulator
+from repro.sim.network import (
+    DeliveryOrder,
+    LatencyModel,
+    Network,
+    UniformLatency,
+)
+from repro.sim.process import Application, ProcessHost
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import SimTrace
+
+ProtocolFactory = Callable[
+    [ProcessHost, Application, ProtocolConfig], BaseRecoveryProcess
+]
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything needed to reproduce one run."""
+
+    n: int
+    app: Application
+    protocol: ProtocolFactory
+    seed: int = 0
+    horizon: float = 100.0
+    drain: bool = True               # run recovery traffic to quiescence
+    drain_limit: int = 2_000_000
+    order: DeliveryOrder = DeliveryOrder.RANDOM
+    latency: LatencyModel = field(default_factory=UniformLatency)
+    # At-least-once transport: probability each app message is delivered
+    # twice.  Use only with protocols that suppress duplicates.
+    duplicate_rate: float = 0.0
+    config: ProtocolConfig = field(default_factory=ProtocolConfig)
+    crashes: CrashPlan | None = None
+    partitions: PartitionPlan | None = None
+    # Record application states per state uid (needed by the predicate
+    # detection utilities).
+    record_states: bool = False
+    # Run a StabilityCoordinator sweep at this interval (enables the output
+    # commit / GC extensions for protocols that support apply_stability).
+    stability_interval: float | None = None
+
+
+@dataclass
+class ExperimentResult:
+    """What a run produced, for oracles and metrics."""
+
+    spec: ExperimentSpec
+    sim: Simulator
+    network: Network
+    trace: SimTrace
+    hosts: list[ProcessHost]
+    protocols: list[BaseRecoveryProcess]
+    coordinator: Any = None   # StabilityCoordinator when enabled
+
+    @property
+    def stats(self) -> list[ProtocolStats]:
+        return [p.stats for p in self.protocols]
+
+    def total(self, attr: str) -> Any:
+        """Sum a ProtocolStats counter across processes."""
+        return sum(getattr(s, attr) for s in self.stats)
+
+    @property
+    def total_rollbacks(self) -> int:
+        return self.total("rollbacks")
+
+    @property
+    def total_restarts(self) -> int:
+        return self.total("restarts")
+
+    @property
+    def total_delivered(self) -> int:
+        return self.total("app_delivered")
+
+    def max_rollbacks_for_single_failure(self) -> int:
+        """Across all processes: the most times any one process rolled back
+        in response to one failure -- Table 1's "rollbacks per failure"."""
+        return max(
+            (s.max_rollbacks_for_single_failure for s in self.stats),
+            default=0,
+        )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Build the stack described by ``spec``, run it, return the result."""
+    sim = Simulator()
+    streams = RandomStreams(spec.seed)
+    trace = SimTrace()
+    network = Network(
+        sim,
+        spec.n,
+        streams=streams,
+        latency=spec.latency,
+        order=spec.order,
+        trace=trace,
+        duplicate_rate=spec.duplicate_rate,
+    )
+    hosts = [ProcessHost(pid, sim, network, trace) for pid in range(spec.n)]
+    protocols = [
+        spec.protocol(host, spec.app, spec.config) for host in hosts
+    ]
+    if spec.record_states:
+        for protocol in protocols:
+            protocol.executor.record_states = True
+    coordinator = None
+    if spec.stability_interval is not None:
+        from repro.core.extensions import StabilityCoordinator
+
+        coordinator = StabilityCoordinator(
+            sim, protocols, interval=spec.stability_interval
+        )
+        coordinator.start()
+    injector = FailureInjector(sim, hosts, network)
+    injector.install(spec.crashes, spec.partitions)
+    for host in hosts:
+        host.start()
+    sim.run(until=spec.horizon)
+    if spec.drain:
+        # Stop checkpoint/flush heartbeats so the run can quiesce, then let
+        # in-flight application and recovery traffic finish.
+        for protocol in protocols:
+            protocol.halt_periodic_tasks()
+        if coordinator is not None:
+            coordinator.stop()
+        sim.drain(limit=spec.drain_limit)
+        if coordinator is not None:
+            # One final sweep so outputs stranded by the cutoff commit.
+            coordinator.sweep_now()
+    return ExperimentResult(
+        spec=spec,
+        sim=sim,
+        network=network,
+        trace=trace,
+        hosts=hosts,
+        protocols=protocols,
+        coordinator=coordinator,
+    )

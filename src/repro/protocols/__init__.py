@@ -1,0 +1,64 @@
+"""Recovery protocols: the paper's protocol and the Table 1 baselines.
+
+Every protocol implements :class:`repro.protocols.base.BaseRecoveryProcess`
+and runs on the identical substrate (simulator, network, storage,
+application model), so the comparison harness can measure Table 1's columns
+empirically: message-ordering assumptions, asynchrony of recovery, rollbacks
+per failure, piggybacked clock size, and tolerance of concurrent failures.
+
+Rows of Table 1:
+
+========================  ==============================================
+Strom & Yemini [27]       :class:`~repro.protocols.strom_yemini.StromYeminiProcess`
+Johnson & Zwaenepoel [11] :class:`~repro.protocols.sender_based.SenderBasedProcess`
+Sistla & Welch [26]       :class:`~repro.protocols.sistla_welch.SistlaWelchProcess`
+Peterson & Kearns [19]    :class:`~repro.protocols.peterson_kearns.PetersonKearnsProcess`
+Smith/Johnson/Tygar [25]  :class:`~repro.protocols.smith_johnson_tygar.SmithJohnsonTygarProcess`
+Damani & Garg (paper)     :class:`~repro.core.recovery.DamaniGargProcess`
+========================  ==============================================
+
+Extra context baselines: receiver-side pessimistic logging [3, 20]
+(:class:`~repro.protocols.pessimistic_receiver.PessimisticReceiverProcess`)
+and Koo-Toueg-style coordinated checkpointing [13]
+(:class:`~repro.protocols.coordinated.CoordinatedProcess`).
+"""
+
+from repro.protocols.base import (
+    BaseRecoveryProcess,
+    ProtocolConfig,
+    ProtocolStats,
+)
+from repro.protocols.causal_logging import CausalLoggingProcess
+from repro.protocols.coordinated import CoordinatedProcess
+from repro.protocols.pessimistic_receiver import PessimisticReceiverProcess
+from repro.protocols.peterson_kearns import PetersonKearnsProcess
+from repro.protocols.sender_based import SenderBasedProcess
+from repro.protocols.sistla_welch import SistlaWelchProcess
+from repro.protocols.strom_yemini import StromYeminiProcess
+
+
+def __getattr__(name: str):
+    # SmithJohnsonTygarProcess subclasses the core protocol, whose module
+    # imports this package for the shared base class; resolving it lazily
+    # (PEP 562) breaks the import cycle.
+    if name == "SmithJohnsonTygarProcess":
+        from repro.protocols.smith_johnson_tygar import (
+            SmithJohnsonTygarProcess,
+        )
+
+        return SmithJohnsonTygarProcess
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BaseRecoveryProcess",
+    "CausalLoggingProcess",
+    "CoordinatedProcess",
+    "PessimisticReceiverProcess",
+    "PetersonKearnsProcess",
+    "ProtocolConfig",
+    "ProtocolStats",
+    "SenderBasedProcess",
+    "SistlaWelchProcess",
+    "SmithJohnsonTygarProcess",
+    "StromYeminiProcess",
+]

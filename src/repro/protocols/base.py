@@ -1,0 +1,284 @@
+"""Common machinery for every recovery protocol.
+
+A protocol process owns, per application process:
+
+- an :class:`~repro.sim.process.AppExecutor` running the
+  piecewise-deterministic application (replayable);
+- a :class:`~repro.storage.stable.StableStorage` (checkpoints, message log,
+  token log) surviving crashes;
+- a :class:`ProtocolStats` block the metrics layer aggregates;
+- periodic checkpoint / log-flush activities driven by simulator events.
+
+Subclasses implement the four lifecycle hooks (`on_start`,
+`on_network_message`, `on_crash`, `on_restart`) plus whatever control
+machinery their paper requires.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import NetworkMessage
+from repro.sim.process import (
+    Application,
+    AppExecutor,
+    OutputRecord,
+    ProcessContext,
+    ProcessHost,
+)
+from repro.sim.trace import EventKind, SimTrace
+from repro.storage.stable import StableStorage
+
+
+@dataclass
+class ProtocolConfig:
+    """Knobs shared by all protocols.
+
+    ``checkpoint_interval`` and ``flush_interval`` are in virtual time.
+    ``flush_interval`` is the "infrequent intervals" of optimistic logging;
+    pessimistic protocols ignore it and log synchronously.
+    """
+
+    checkpoint_interval: float = 10.0
+    flush_interval: float = 3.0
+    # Alternative checkpoint pacing: also checkpoint after this many
+    # deliveries (None = time-based only).  Bounds replay length by
+    # message count rather than by elapsed time, which suits bursty
+    # workloads.
+    checkpoint_every_messages: int | None = None
+    # Remark 1 extension: failed process broadcasts its full clock with the
+    # token and peers retransmit messages concurrent with the restored state.
+    retransmit_on_token: bool = False
+    # Hold environment outputs until they are stable (never rolled back).
+    # Requires a StabilityCoordinator driving apply_stability sweeps.
+    commit_outputs: bool = False
+    # Remark 2 extension: reclaim checkpoints and log prefixes below the
+    # permanently-safe line.  Also coordinator-driven.
+    enable_gc: bool = False
+
+
+@dataclass
+class ProtocolStats:
+    """Per-process counters read by :mod:`repro.analysis.metrics`."""
+
+    app_sent: int = 0
+    app_delivered: int = 0
+    app_discarded: int = 0
+    app_postponed: int = 0
+    duplicates_discarded: int = 0
+    control_sent: int = 0
+    tokens_sent: int = 0
+    tokens_received: int = 0
+    piggyback_entries: int = 0       # scalar timestamps attached to app sends
+    piggyback_bits: int = 0          # estimated encoded piggyback size
+    restarts: int = 0
+    rollbacks: int = 0
+    replayed: int = 0
+    retransmitted: int = 0
+    sync_log_writes: int = 0
+    blocked_time: float = 0.0        # virtual time spent blocked (pessimistic)
+    # rollbacks attributed to each failure (origin pid, version) -- the
+    # "at most one rollback per failure" measurement of Table 1.
+    rollbacks_per_failure: dict[tuple[int, int], int] = field(
+        default_factory=dict
+    )
+
+    def note_rollback(self, origin: int, version: int) -> None:
+        self.rollbacks += 1
+        key = (origin, version)
+        self.rollbacks_per_failure[key] = (
+            self.rollbacks_per_failure.get(key, 0) + 1
+        )
+
+    @property
+    def max_rollbacks_for_single_failure(self) -> int:
+        if not self.rollbacks_per_failure:
+            return 0
+        return max(self.rollbacks_per_failure.values())
+
+
+class BaseRecoveryProcess(abc.ABC):
+    """One protocol instance attached to one :class:`ProcessHost`."""
+
+    #: Human-readable protocol name (Table 1 row label).
+    name: str = "abstract"
+    #: Does the protocol assume FIFO channels?  (Table 1 column 1.)
+    requires_fifo: bool = False
+    #: Is recovery asynchronous -- can a failed process resume computing
+    #: without waiting for responses from other processes?  (Column 2.)
+    asynchronous_recovery: bool = False
+    #: Can the protocol survive an unbounded number of concurrent failures?
+    tolerates_concurrent_failures: bool = False
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        app: Application,
+        config: ProtocolConfig | None = None,
+    ) -> None:
+        self.host = host
+        self.pid = host.pid
+        self.n = host.network.n
+        self.sim: Simulator = host.sim
+        self.trace: SimTrace | None = host.trace
+        self.config = config if config is not None else ProtocolConfig()
+        self.executor = AppExecutor(app, self.pid, self.n, self.sim, self.trace)
+        self.storage = StableStorage(self.pid)
+        self.stats = ProtocolStats()
+        self.outputs: list[tuple[float, Any]] = []   # committed outputs
+        host.attach(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (host-facing)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_start(self) -> None: ...
+
+    @abc.abstractmethod
+    def on_network_message(self, msg: NetworkMessage) -> None: ...
+
+    @abc.abstractmethod
+    def on_crash(self) -> None: ...
+
+    @abc.abstractmethod
+    def on_restart(self) -> None: ...
+
+    # ------------------------------------------------------------------
+    # Periodic activities
+    # ------------------------------------------------------------------
+    def start_periodic_tasks(self) -> None:
+        """Kick off checkpointing and log flushing.  Call from on_start."""
+        self._periodic_enabled = True
+        self._schedule_checkpoint()
+        self._schedule_flush()
+
+    def halt_periodic_tasks(self) -> None:
+        """Stop rescheduling periodic activities (end of experiment)."""
+        self._periodic_enabled = False
+
+    def _schedule_checkpoint(self) -> None:
+        self.sim.schedule(
+            self.config.checkpoint_interval,
+            self._periodic_checkpoint,
+            label=f"ckpt:{self.pid}",
+        )
+
+    def _periodic_checkpoint(self) -> None:
+        if not getattr(self, "_periodic_enabled", False):
+            return
+        if self.host.alive:
+            self.take_checkpoint()
+        self._schedule_checkpoint()
+
+    def _schedule_flush(self) -> None:
+        self.sim.schedule(
+            self.config.flush_interval,
+            self._periodic_flush,
+            label=f"flush:{self.pid}",
+        )
+
+    def _periodic_flush(self) -> None:
+        if not getattr(self, "_periodic_enabled", False):
+            return
+        if self.host.alive:
+            self.flush_log()
+        self._schedule_flush()
+
+    # ------------------------------------------------------------------
+    # Storage helpers (subclasses may extend)
+    # ------------------------------------------------------------------
+    def note_delivery_for_checkpoint(self) -> None:
+        """Count a delivery toward the message-count checkpoint policy.
+
+        Protocols call this after each live delivery; when
+        ``config.checkpoint_every_messages`` deliveries have accumulated
+        since the last checkpoint, one is taken immediately.
+        """
+        threshold = self.config.checkpoint_every_messages
+        if threshold is None:
+            return
+        count = getattr(self, "_deliveries_since_checkpoint", 0) + 1
+        if count >= threshold:
+            self.take_checkpoint()
+        else:
+            self._deliveries_since_checkpoint = count
+
+    def take_checkpoint(self) -> None:
+        """Default checkpoint: flush the log, save the executor snapshot.
+
+        Subclasses override to add protocol state (clock, history, ...) via
+        :meth:`checkpoint_extras`.
+        """
+        self._deliveries_since_checkpoint = 0
+        self.flush_log()
+        ckpt = self.storage.checkpoints.take(
+            self.sim.now,
+            self.executor.snapshot(),
+            self.storage.log.stable_length,
+            extras=self.checkpoint_extras(),
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.CHECKPOINT,
+                self.pid,
+                ckpt_id=ckpt.ckpt_id,
+                uid=self.executor.current_uid,
+                log_position=ckpt.log_position,
+            )
+
+    def checkpoint_extras(self) -> dict[str, Any]:
+        """Protocol state saved alongside each checkpoint."""
+        return {}
+
+    def flush_log(self) -> int:
+        moved = self.storage.log.flush()
+        if moved and self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.LOG_FLUSH,
+                self.pid,
+                moved=moved,
+                stable_length=self.storage.log.stable_length,
+            )
+        return moved
+
+    # ------------------------------------------------------------------
+    # Output handling
+    # ------------------------------------------------------------------
+    def emit_outputs(self, records: list[OutputRecord], *, replay: bool) -> None:
+        """Record application outputs to the environment.
+
+        Replayed transitions regenerate outputs that were already emitted;
+        they are suppressed, matching the suppression of replayed sends.
+        """
+        if replay:
+            return
+        for rec in records:
+            self.outputs.append((self.sim.now, rec.value))
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    EventKind.OUTPUT,
+                    self.pid,
+                    value=rec.value,
+                    uid=self.executor.current_uid,
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection used by the comparison harness
+    # ------------------------------------------------------------------
+    def piggyback_entry_count(self) -> int:
+        """Scalar timestamps this protocol attaches to one app message.
+
+        The Table 1 "number of timestamps in vector clock" column; measured,
+        not declared, where the size varies (Smith-Johnson-Tygar grows with
+        failures).
+        """
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} pid={self.pid}>"

@@ -1,0 +1,331 @@
+"""Rollback based on vector time, after Peterson & Kearns [19].
+
+Messages piggyback a plain Mattern vector clock (``n`` timestamps) plus a
+scalar *epoch*.  After a failure the restarted process replays its stable
+log, advances the epoch, broadcasts a recovery token carrying the restored
+vector time, and then **waits for acknowledgements from every peer before
+resuming computation** -- recovery is synchronous (Table 1 column 2 =
+"No"), and the wait shows up in ``stats.blocked_time``.
+
+Each peer, on the token: if its clock shows dependence on the failed
+process beyond the restored timestamp it rolls back (once), adopts the new
+epoch, and acknowledges.  In-flight messages from the old epoch are judged
+against the recorded cutoff (obsolete iff they depend on the failed
+process beyond the restoration point); messages from a *future* epoch are
+postponed until the token arrives.
+
+Because the protocol distinguishes pre- from post-recovery states with a
+single scalar epoch rather than per-process version numbers, overlapping
+recoveries are ambiguous: it "can not handle multiple failures" (paper
+Section 2) -- concurrent crashes are outside its contract, exactly as
+Table 1 records (1 concurrent failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.clocks.vector import VectorClock
+from repro.protocols.base import BaseRecoveryProcess
+from repro.sim.network import NetworkMessage
+from repro.sim.trace import EventKind
+
+
+@dataclass(frozen=True)
+class PKEnvelope:
+    payload: Any
+    clock: VectorClock
+    epoch: int
+
+
+@dataclass(frozen=True)
+class PKToken:
+    origin: int
+    epoch: int                       # the epoch this recovery begins
+    restored_ts: int                 # origin's own timestamp at restoration
+
+
+@dataclass(frozen=True)
+class PKAck:
+    epoch: int
+    sender: int
+
+
+class PetersonKearnsProcess(BaseRecoveryProcess):
+    """One Peterson-Kearns process."""
+
+    name = "Peterson-Kearns"
+    requires_fifo = True
+    asynchronous_recovery = False
+    tolerates_concurrent_failures = False
+
+    def __init__(self, host, app, config=None) -> None:
+        super().__init__(host, app, config)
+        self.clock = VectorClock.initial(self.pid, self.n)
+        self.epoch = 0
+        # epoch -> (failed pid, restored timestamp): the cutoff that ended it
+        self.cutoffs: dict[int, tuple[int, int]] = {}
+        self._held: list[NetworkMessage] = []
+        # Synchronous-recovery session state (when we are the failed one):
+        self._awaiting_acks: set[int] | None = None
+        self._buffered: list[NetworkMessage] = []
+        self._blocked_since: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        ctx = self.executor.bootstrap()
+        for send in ctx.sends:
+            self._send_app(send.dst, send.payload, transmit=True)
+        self.emit_outputs(ctx.outputs, replay=False)
+        self.take_checkpoint()
+        self.start_periodic_tasks()
+
+    def on_network_message(self, msg: NetworkMessage) -> None:
+        payload = msg.payload
+        if isinstance(payload, PKToken):
+            self._receive_token(payload)
+            return
+        if isinstance(payload, PKAck):
+            self._receive_ack(payload)
+            return
+        if self._awaiting_acks is not None:
+            # We are mid-recovery: application traffic waits.
+            self._buffered.append(msg)
+            return
+        self._receive_app(msg)
+
+    def on_crash(self) -> None:
+        self.storage.on_crash()
+        self._held.clear()
+        self._buffered.clear()
+        self._awaiting_acks = None
+        self._blocked_since = None
+
+    def on_restart(self) -> None:
+        self.stats.restarts += 1
+        ckpt = self.storage.checkpoints.latest()
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.RESTORE, self.pid,
+                ckpt_uid=ckpt.snapshot["uid"], reason="restart",
+            )
+        self._restore_checkpoint(ckpt)
+        replayed = 0
+        for entry in self.storage.log.stable_entries(ckpt.log_position):
+            self._replay_entry(entry)
+            replayed += 1
+        restored_ts = self.clock[self.pid]
+        new_epoch = self.epoch + 1
+        token = PKToken(
+            origin=self.pid, epoch=new_epoch, restored_ts=restored_ts
+        )
+        self.storage.log_token(token)
+        self.cutoffs[self.epoch] = (self.pid, restored_ts)
+        self.epoch = new_epoch
+        restored_uid = self.executor.begin_incarnation(
+            self.host.crash_count, new_epoch
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.TOKEN_SEND, self.pid,
+                version=new_epoch, timestamp=restored_ts,
+            )
+            self.trace.record(
+                self.sim.now, EventKind.RESTART, self.pid,
+                restored_uid=restored_uid,
+                new_uid=self.executor.current_uid,
+                replayed=replayed,
+            )
+        self.take_checkpoint()
+        if self.n == 1:
+            return
+        # The synchronous part: broadcast and wait for everyone.
+        self.host.broadcast(token, kind="token")
+        self.stats.tokens_sent += self.n - 1
+        self.stats.control_sent += self.n - 1
+        self._awaiting_acks = set(range(self.n)) - {self.pid}
+        self._blocked_since = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Receive message
+    # ------------------------------------------------------------------
+    def _is_obsolete(self, envelope: PKEnvelope) -> bool:
+        """An old-epoch message is obsolete iff it depends on a failed
+        process beyond the restoration point of any epoch it missed."""
+        for epoch in range(envelope.epoch, self.epoch):
+            cutoff = self.cutoffs.get(epoch)
+            if cutoff is None:
+                continue
+            failed, restored_ts = cutoff
+            if envelope.clock[failed] > restored_ts:
+                return True
+        return False
+
+    def _receive_app(self, msg: NetworkMessage) -> None:
+        envelope: PKEnvelope = msg.payload
+        if envelope.epoch > self.epoch:
+            # From a recovery we have not heard about yet.
+            self._held.append(msg)
+            self.stats.app_postponed += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, EventKind.POSTPONE, self.pid,
+                    msg_id=msg.msg_id, awaiting=[("epoch", envelope.epoch)],
+                )
+            return
+        if self._is_obsolete(envelope):
+            self.stats.app_discarded += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, EventKind.DISCARD, self.pid,
+                    msg_id=msg.msg_id, reason="obsolete",
+                )
+            return
+        self._deliver(msg)
+
+    def _deliver(self, msg: NetworkMessage) -> None:
+        envelope: PKEnvelope = msg.payload
+        self.clock = self.clock.merge(envelope.clock).tick(self.pid)
+        self.stats.app_delivered += 1
+        ctx = self.executor.execute(envelope.payload, msg_id=msg.msg_id)
+        self.storage.log.append(
+            msg.msg_id, msg.src, envelope.payload,
+            meta=(envelope.clock, self.executor.current_uid),
+        )
+        for send in ctx.sends:
+            self._send_app(send.dst, send.payload, transmit=True)
+        self.emit_outputs(ctx.outputs, replay=False)
+
+    def _replay_entry(self, entry) -> None:
+        clock, uid = entry.meta
+        self.clock = self.clock.merge(clock).tick(self.pid)
+        self.stats.replayed += 1
+        ctx = self.executor.execute(
+            entry.payload, msg_id=entry.msg_id, replay=True, uid=uid
+        )
+        for send in ctx.sends:
+            self._send_app(send.dst, send.payload, transmit=False)
+        self.emit_outputs(ctx.outputs, replay=True)
+
+    def _send_app(self, dst: int, payload: Any, *, transmit: bool) -> None:
+        envelope = PKEnvelope(payload=payload, clock=self.clock,
+                              epoch=self.epoch)
+        if transmit:
+            sent = self.host.send(dst, envelope, kind="app")
+            self.stats.app_sent += 1
+            self.stats.piggyback_entries += len(self.clock) + 1
+            self.stats.piggyback_bits += (len(self.clock) + 1) * 32
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, EventKind.SEND, self.pid,
+                    msg_id=sent.msg_id, dst=dst,
+                    uid=self.executor.current_uid,
+                )
+        self.clock = self.clock.tick(self.pid)
+
+    # ------------------------------------------------------------------
+    # Tokens / acks
+    # ------------------------------------------------------------------
+    def _receive_token(self, token: PKToken) -> None:
+        self.stats.tokens_received += 1
+        self.storage.log_token(token)
+        self.stats.sync_log_writes += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.TOKEN_DELIVER, self.pid,
+                origin=token.origin, version=token.epoch,
+                timestamp=token.restored_ts,
+            )
+        if self.clock[token.origin] > token.restored_ts:
+            self._rollback(token)
+        self.cutoffs[token.epoch - 1] = (token.origin, token.restored_ts)
+        self.epoch = max(self.epoch, token.epoch)
+        self.host.send(token.origin, PKAck(epoch=token.epoch, sender=self.pid),
+                       kind="control")
+        self.stats.control_sent += 1
+        held, self._held = self._held, []
+        for msg in held:
+            self._receive_app(msg)
+
+    def _receive_ack(self, ack: PKAck) -> None:
+        if self._awaiting_acks is None or ack.epoch != self.epoch:
+            return
+        self._awaiting_acks.discard(ack.sender)
+        if not self._awaiting_acks:
+            self._awaiting_acks = None
+            if self._blocked_since is not None:
+                self.stats.blocked_time += self.sim.now - self._blocked_since
+                self._blocked_since = None
+            buffered, self._buffered = self._buffered, []
+            for msg in buffered:
+                self.on_network_message(msg)
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+    def _rollback(self, token: PKToken) -> None:
+        self.flush_log()
+        j = token.origin
+
+        def survives(ckpt) -> bool:
+            return ckpt.extras["clock"][j] <= token.restored_ts
+
+        ckpt = self.storage.checkpoints.latest_satisfying(survives)
+        if ckpt is None:
+            raise RuntimeError(
+                f"P{self.pid}: no surviving checkpoint for {token!r}"
+            )
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.RESTORE, self.pid,
+                ckpt_uid=ckpt.snapshot["uid"], reason="rollback",
+            )
+        self._restore_checkpoint(ckpt)
+        self.storage.checkpoints.discard_after(ckpt)
+        position = ckpt.log_position
+        replayed = 0
+        for entry in self.storage.log.stable_entries(position):
+            clock, _uid = entry.meta
+            if clock[j] > token.restored_ts:
+                break
+            self._replay_entry(entry)
+            replayed += 1
+        discarded = self.storage.log.truncate(position + replayed)
+        self.clock = self.clock.tick(self.pid)
+        restored_uid = self.executor.new_recovery_state()
+        self.stats.note_rollback(token.origin, token.epoch)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.ROLLBACK, self.pid,
+                origin=token.origin, version=token.epoch,
+                timestamp=token.restored_ts,
+                restored_uid=restored_uid,
+                new_uid=self.executor.current_uid,
+                replayed=replayed,
+                discarded_log_entries=discarded,
+            )
+
+    # ------------------------------------------------------------------
+    def checkpoint_extras(self) -> dict[str, Any]:
+        return {
+            "clock": self.clock,
+            "epoch": self.epoch,
+            "cutoffs": dict(self.cutoffs),
+        }
+
+    def _restore_checkpoint(self, ckpt) -> None:
+        self.executor.restore(ckpt.snapshot)
+        self.clock = ckpt.extras["clock"]
+        self.epoch = ckpt.extras["epoch"]
+        self.cutoffs = dict(ckpt.extras["cutoffs"])
+        # Cutoffs are durable facts: reinstate those learned after the
+        # checkpoint from the synchronously-logged tokens.
+        for token in self.storage.tokens:
+            self.cutoffs[token.epoch - 1] = (token.origin, token.restored_ts)
+            self.epoch = max(self.epoch, token.epoch)
+
+    def piggyback_entry_count(self) -> int:
+        return self.n + 1

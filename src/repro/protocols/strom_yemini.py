@@ -1,0 +1,378 @@
+"""Optimistic recovery after Strom & Yemini [27].
+
+The founding optimistic protocol.  Mechanically close to Damani-Garg --
+transitive dependency vectors of ``(incarnation, index)`` pairs, optimistic
+receiver logging, checkpoints -- but with the crucial difference the paper
+fixes: **a rollback also begins a new incarnation and broadcasts its own
+announcement**, exactly like a failure does.
+
+Consequences (all measurable in the comparison harness):
+
+- a single root failure cascades: P2 rolls back for P1's announcement and
+  announces; P3 may first roll back for P2's announcement and then again
+  for P1's (or vice versa), so one process can roll back several times per
+  failure -- the paper's Table 1 cites a 2^n worst case, against exactly 1
+  for Damani-Garg;
+- every rollback costs a broadcast, so control traffic is higher;
+- the incarnation-end table must cover rollback incarnations too, so more
+  announcements gate deliverability.
+
+Announcements carry a ``root`` tag (origin failure) purely for
+*measurement*: `stats.rollbacks_per_failure` is keyed by root so the
+harness can count rollbacks per root failure.  The tag does not influence
+protocol decisions.
+
+Strom-Yemini assumed FIFO channels; this implementation postpones messages
+that mention incarnations whose predecessors are unannounced (the same
+hold-until-known device as the main protocol), so it runs correctly under
+any ordering, but it is graded under FIFO in Table 1 as published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.protocols.base import BaseRecoveryProcess
+from repro.sim.network import NetworkMessage
+from repro.sim.trace import EventKind
+
+#: A dependency entry: (incarnation, state index), ordered lexicographically.
+DepEntry = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SYEnvelope:
+    payload: Any
+    dv: tuple[DepEntry, ...]         # transitive dependency vector
+
+
+@dataclass(frozen=True)
+class SYAnnouncement:
+    """'Incarnation ``incarnation`` of ``origin`` ended at ``end_index``;
+    states beyond it are dead.'  Sent after failures AND after rollbacks.
+    ``end_index = -1`` kills the whole incarnation (used when a recovery
+    reaches below the point where that incarnation began)."""
+
+    origin: int
+    incarnation: int
+    end_index: int
+    root: tuple[int, int]            # (root pid, root crash count) -- metrics
+
+
+class StromYeminiProcess(BaseRecoveryProcess):
+    """One Strom-Yemini process."""
+
+    name = "Strom-Yemini"
+    requires_fifo = True
+    asynchronous_recovery = True
+    tolerates_concurrent_failures = False
+
+    def __init__(self, host, app, config=None) -> None:
+        super().__init__(host, app, config)
+        self.incarnation = 0
+        self.index = 0
+        self.dv: list[DepEntry] = [(0, 0) for _ in range(self.n)]
+        self.dv[self.pid] = (0, 0)
+        # incarnation end table: (pid, incarnation) -> end index
+        self.iet: dict[tuple[int, int], int] = {}
+        self._held: list[NetworkMessage] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.storage.put("max_incarnation", 0)
+        ctx = self.executor.bootstrap()
+        for send in ctx.sends:
+            self._send_app(send.dst, send.payload, transmit=True)
+        self.emit_outputs(ctx.outputs, replay=False)
+        self.take_checkpoint()
+        self.start_periodic_tasks()
+
+    def on_network_message(self, msg: NetworkMessage) -> None:
+        if msg.kind == "token":
+            self._receive_announcement(msg.payload)
+        elif msg.kind == "app":
+            self._receive_app(msg)
+        else:
+            raise ValueError(f"unexpected message kind {msg.kind!r}")
+
+    def on_crash(self) -> None:
+        self.storage.on_crash()
+        self._held.clear()
+
+    def on_restart(self) -> None:
+        self.stats.restarts += 1
+        ckpt = self.storage.checkpoints.latest()
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.RESTORE, self.pid,
+                ckpt_uid=ckpt.snapshot["uid"], reason="restart",
+            )
+        self._restore_checkpoint(ckpt)
+        replayed = 0
+        for entry in self.storage.log.stable_entries(ckpt.log_position):
+            self._replay_entry(entry)
+            replayed += 1
+        root = (self.pid, self.host.crash_count)
+        self._end_incarnations_and_reincarnate(root)
+        restored_uid = self.executor.begin_incarnation(
+            self.host.crash_count, self.incarnation
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.RESTART, self.pid,
+                restored_uid=restored_uid,
+                new_uid=self.executor.current_uid,
+                replayed=replayed,
+            )
+        self.take_checkpoint()
+        for announcement in self.storage.tokens:
+            self._apply_announcement(announcement)
+
+    # ------------------------------------------------------------------
+    # Dependency-vector helpers
+    # ------------------------------------------------------------------
+    def _dv_obsolete(self, dv: tuple[DepEntry, ...]) -> bool:
+        for j, (inc, idx) in enumerate(dv):
+            end = self.iet.get((j, inc))
+            if end is not None and idx > end:
+                return True
+        return False
+
+    def _dv_missing(self, dv: tuple[DepEntry, ...]) -> list[tuple[int, int]]:
+        missing = []
+        for j, (inc, _idx) in enumerate(dv):
+            for earlier in range(inc):
+                if (j, earlier) not in self.iet:
+                    missing.append((j, earlier))
+        return missing
+
+    def _dv_merge(self, dv: tuple[DepEntry, ...]) -> None:
+        self.dv = [max(a, b) for a, b in zip(self.dv, dv)]
+
+    def _dv_orphaned_by(
+        self, dv: list[DepEntry], ann: SYAnnouncement
+    ) -> bool:
+        inc, idx = dv[ann.origin]
+        return inc == ann.incarnation and idx > ann.end_index
+
+    # ------------------------------------------------------------------
+    # Receive message
+    # ------------------------------------------------------------------
+    def _receive_app(self, msg: NetworkMessage) -> None:
+        envelope: SYEnvelope = msg.payload
+        if self._dv_obsolete(envelope.dv):
+            self.stats.app_discarded += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, EventKind.DISCARD, self.pid,
+                    msg_id=msg.msg_id, reason="obsolete",
+                )
+            return
+        missing = self._dv_missing(envelope.dv)
+        if missing:
+            self._held.append(msg)
+            self.stats.app_postponed += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, EventKind.POSTPONE, self.pid,
+                    msg_id=msg.msg_id, awaiting=missing,
+                )
+            return
+        self._deliver(msg)
+
+    def _deliver(self, msg: NetworkMessage) -> None:
+        envelope: SYEnvelope = msg.payload
+        self._dv_merge(envelope.dv)
+        self.index += 1
+        self.dv[self.pid] = (self.incarnation, self.index)
+        self.stats.app_delivered += 1
+        ctx = self.executor.execute(envelope.payload, msg_id=msg.msg_id)
+        # The entry remembers the (incarnation, index) label this state was
+        # created under, so replay can resurrect it with the identical
+        # label even if the checkpoint predates a reincarnation.
+        self.storage.log.append(
+            msg.msg_id, msg.src, envelope.payload,
+            meta=(envelope.dv, self.executor.current_uid,
+                  (self.incarnation, self.index)),
+        )
+        for send in ctx.sends:
+            self._send_app(send.dst, send.payload, transmit=True)
+        self.emit_outputs(ctx.outputs, replay=False)
+
+    def _replay_entry(self, entry) -> None:
+        dv, uid, own_label = entry.meta
+        self._dv_merge(dv)
+        self.incarnation, self.index = own_label
+        self.dv[self.pid] = own_label
+        self.stats.replayed += 1
+        ctx = self.executor.execute(
+            entry.payload, msg_id=entry.msg_id, replay=True, uid=uid
+        )
+        for send in ctx.sends:
+            self._send_app(send.dst, send.payload, transmit=False)
+        self.emit_outputs(ctx.outputs, replay=True)
+
+    def _send_app(self, dst: int, payload: Any, *, transmit: bool) -> None:
+        envelope = SYEnvelope(payload=payload, dv=tuple(self.dv))
+        if transmit:
+            sent = self.host.send(dst, envelope, kind="app")
+            self.stats.app_sent += 1
+            self.stats.piggyback_entries += len(envelope.dv)
+            self.stats.piggyback_bits += len(envelope.dv) * (32 + 8)
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, EventKind.SEND, self.pid,
+                    msg_id=sent.msg_id, dst=dst,
+                    uid=self.executor.current_uid,
+                )
+
+    # ------------------------------------------------------------------
+    # Announcements
+    # ------------------------------------------------------------------
+    def _iet_install(self, key: tuple[int, int], end: int) -> None:
+        """Incarnation ends only shrink: a later, lower end (a recovery
+        that reached further back) must never be widened by a stale,
+        reordered announcement."""
+        existing = self.iet.get(key)
+        if existing is None or end < existing:
+            self.iet[key] = end
+
+    def _end_incarnations_and_reincarnate(self, root: tuple[int, int]) -> None:
+        """Kill everything after the current (restored) state and begin a
+        fresh incarnation (used by both restart and rollback).
+
+        The current state sits in incarnation ``self.incarnation``; every
+        incarnation this process ever started beyond it (recorded durably
+        in ``max_incarnation``) is now entirely dead and must be announced
+        as such, or messages from those states would remain acceptable.
+        """
+        max_used = self.storage.get("max_incarnation", self.incarnation)
+        kills = [(self.incarnation, self.index)]
+        kills.extend(
+            (inc, -1) for inc in range(self.incarnation + 1, max_used + 1)
+        )
+        for incarnation, end in kills:
+            announcement = SYAnnouncement(
+                origin=self.pid,
+                incarnation=incarnation,
+                end_index=end,
+                root=root,
+            )
+            self.storage.log_token(announcement)
+            self._iet_install((self.pid, incarnation), end)
+            self.host.broadcast(announcement, kind="token")
+            self.stats.tokens_sent += self.n - 1
+            self.stats.control_sent += self.n - 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, EventKind.TOKEN_SEND, self.pid,
+                    version=incarnation,
+                    timestamp=end,
+                )
+        self.incarnation = max_used + 1
+        self.storage.put("max_incarnation", self.incarnation)
+        self.index = 0
+        self.dv[self.pid] = (self.incarnation, 0)
+
+    def _receive_announcement(self, announcement: SYAnnouncement) -> None:
+        self.stats.tokens_received += 1
+        self.storage.log_token(announcement)
+        self.stats.sync_log_writes += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.TOKEN_DELIVER, self.pid,
+                origin=announcement.origin,
+                version=announcement.incarnation,
+                timestamp=announcement.end_index,
+            )
+        self._apply_announcement(announcement)
+        held, self._held = self._held, []
+        for msg in held:
+            self._receive_app(msg)
+
+    def _apply_announcement(self, announcement: SYAnnouncement) -> None:
+        if self._dv_orphaned_by(self.dv, announcement):
+            self._rollback(announcement)
+        self._iet_install(
+            (announcement.origin, announcement.incarnation),
+            announcement.end_index,
+        )
+
+    # ------------------------------------------------------------------
+    # Rollback -- unlike Damani-Garg, it re-incarnates and re-announces
+    # ------------------------------------------------------------------
+    def _rollback(self, announcement: SYAnnouncement) -> None:
+        self.flush_log()
+        j = announcement.origin
+
+        def survives(ckpt) -> bool:
+            inc, idx = ckpt.extras["dv"][j]
+            return not (
+                inc == announcement.incarnation
+                and idx > announcement.end_index
+            )
+
+        ckpt = self.storage.checkpoints.latest_satisfying(survives)
+        if ckpt is None:
+            raise RuntimeError(
+                f"P{self.pid}: no surviving checkpoint for {announcement!r}"
+            )
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.RESTORE, self.pid,
+                ckpt_uid=ckpt.snapshot["uid"], reason="rollback",
+            )
+        self._restore_checkpoint(ckpt)
+        self.storage.checkpoints.discard_after(ckpt)
+        position = ckpt.log_position
+        replayed = 0
+        for entry in self.storage.log.stable_entries(position):
+            dv, _uid, _own_label = entry.meta
+            inc, idx = dv[j]
+            if inc == announcement.incarnation and idx > announcement.end_index:
+                break
+            self._replay_entry(entry)
+            replayed += 1
+        discarded = self.storage.log.truncate(position + replayed)
+        # Re-apply all known announcements over the restored table.
+        for logged in self.storage.tokens:
+            self._iet_install(
+                (logged.origin, logged.incarnation), logged.end_index
+            )
+        # The Strom-Yemini move: a rollback ends this incarnation too.
+        self._end_incarnations_and_reincarnate(announcement.root)
+        restored_uid = self.executor.new_recovery_state()
+        self.stats.note_rollback(*announcement.root)
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, EventKind.ROLLBACK, self.pid,
+                origin=announcement.origin,
+                version=announcement.incarnation,
+                timestamp=announcement.end_index,
+                restored_uid=restored_uid,
+                new_uid=self.executor.current_uid,
+                replayed=replayed,
+                discarded_log_entries=discarded,
+            )
+
+    # ------------------------------------------------------------------
+    def checkpoint_extras(self) -> dict[str, Any]:
+        return {
+            "dv": list(self.dv),
+            "incarnation": self.incarnation,
+            "index": self.index,
+            "iet": dict(self.iet),
+        }
+
+    def _restore_checkpoint(self, ckpt) -> None:
+        self.executor.restore(ckpt.snapshot)
+        self.dv = list(ckpt.extras["dv"])
+        self.incarnation = ckpt.extras["incarnation"]
+        self.index = ckpt.extras["index"]
+        self.iet = dict(ckpt.extras["iet"])
+
+    def piggyback_entry_count(self) -> int:
+        return self.n

@@ -1,0 +1,59 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides everything the recovery protocols run on top of:
+
+- :mod:`repro.sim.kernel` -- the event-queue simulator (virtual time).
+- :mod:`repro.sim.rng` -- named, independent, seeded random streams.
+- :mod:`repro.sim.network` -- point-to-point channels with configurable
+  ordering (FIFO or arbitrary), latency models, partitions, and a reliable
+  broadcast used for recovery tokens.
+- :mod:`repro.sim.process` -- the piecewise-deterministic application/process
+  model of the paper's Section 3.
+- :mod:`repro.sim.failures` -- crash and partition injection.
+- :mod:`repro.sim.trace` -- a protocol-independent ground-truth event trace
+  used by the analysis oracles.
+"""
+
+from repro.sim.failures import CrashPlan, FailureInjector, PartitionPlan
+from repro.sim.kernel import Event, EventHandle, Simulator
+from repro.sim.network import (
+    DeliveryOrder,
+    LatencyModel,
+    Network,
+    NetworkMessage,
+    UniformLatency,
+)
+from repro.sim.process import (
+    Application,
+    ProcessContext,
+    ProcessHost,
+    SendRecord,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import (
+    EventKind,
+    SimTrace,
+    TraceEvent,
+)
+
+__all__ = [
+    "Application",
+    "CrashPlan",
+    "DeliveryOrder",
+    "Event",
+    "EventHandle",
+    "EventKind",
+    "FailureInjector",
+    "LatencyModel",
+    "Network",
+    "NetworkMessage",
+    "PartitionPlan",
+    "ProcessContext",
+    "ProcessHost",
+    "RandomStreams",
+    "SendRecord",
+    "SimTrace",
+    "Simulator",
+    "TraceEvent",
+    "UniformLatency",
+]

@@ -1,0 +1,57 @@
+"""Per-process stable storage.
+
+A :class:`StableStorage` object survives simulated crashes by construction:
+the protocol clears only its *volatile* members on failure.  It aggregates
+the checkpoint store, the message log, a synchronously-written token log
+(the paper logs every received token synchronously so a crash cannot forget
+one), and a small key-value area for durable scalars such as the version
+number.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.storage.checkpoint import CheckpointStore
+from repro.storage.log import MessageLog
+
+
+class StableStorage:
+    """Everything process ``pid`` keeps on disk."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.checkpoints = CheckpointStore()
+        self.log = MessageLog()
+        self._tokens: list[Any] = []
+        self._kv: dict[str, Any] = {}
+        self.sync_writes = 0
+
+    # ------------------------------------------------------------------
+    # Token log (synchronous)
+    # ------------------------------------------------------------------
+    def log_token(self, token: Any) -> None:
+        """Synchronously persist a received token (paper Section 6.3)."""
+        self._tokens.append(token)
+        self.sync_writes += 1
+
+    @property
+    def tokens(self) -> list[Any]:
+        return list(self._tokens)
+
+    # ------------------------------------------------------------------
+    # Durable scalars
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        self._kv[key] = value
+        self.sync_writes += 1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._kv.get(key, default)
+
+    # ------------------------------------------------------------------
+    # Failure hook
+    # ------------------------------------------------------------------
+    def on_crash(self) -> int:
+        """Apply crash semantics: only the volatile log buffer is lost."""
+        return self.log.on_crash()

@@ -1,0 +1,78 @@
+"""Tests for the Theorem 1 checker."""
+
+import pytest
+
+from repro.analysis import check_theorem1
+from repro.apps import RandomRoutingApp
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.sim.failures import CrashPlan
+
+
+def run(seed=0, crashes=None, n=4):
+    spec = ExperimentSpec(
+        n=n,
+        app=RandomRoutingApp(hops=40, seeds=(0, 1), initial_items=2),
+        protocol=DamaniGargProcess,
+        crashes=crashes,
+        seed=seed,
+        horizon=100.0,
+        config=ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5),
+    )
+    return run_experiment(spec)
+
+
+def test_holds_without_failures():
+    report = check_theorem1(run())
+    assert report.ok, report.violations
+    assert report.pairs_checked > 100
+    assert report.non_useful_counterexamples == 0
+    assert bool(report) is True
+
+
+def test_holds_with_failures():
+    report = check_theorem1(run(crashes=CrashPlan().crash(20.0, 1, 2.0)))
+    assert report.ok, report.violations
+
+
+def test_failure_produces_non_useful_counterexamples():
+    """With orphans in play, the clock genuinely misorders non-useful
+    states (Figure 1's r20/s22 remark) -- the checker must observe that."""
+    seen = 0
+    for seed in range(10):
+        report = check_theorem1(
+            run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        )
+        assert report.ok
+        seen += report.non_useful_counterexamples
+    assert seen > 0
+
+
+def test_max_states_caps_work():
+    report = check_theorem1(run(), max_states=10)
+    assert report.useful_states <= 10
+
+
+def test_requires_clock_exposing_protocol():
+    from repro.protocols.base import BaseRecoveryProcess
+
+    class Opaque(BaseRecoveryProcess):
+        def on_start(self):
+            pass
+
+        def on_network_message(self, msg):
+            pass
+
+        def on_crash(self):
+            pass
+
+        def on_restart(self):
+            pass
+
+    spec = ExperimentSpec(
+        n=2, app=RandomRoutingApp(), protocol=Opaque, horizon=5.0
+    )
+    result = run_experiment(spec)
+    with pytest.raises(TypeError):
+        check_theorem1(result)

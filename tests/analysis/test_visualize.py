@@ -1,0 +1,65 @@
+"""Tests for the DOT exporter."""
+
+import pytest
+
+from repro.analysis.causality import build_ground_truth
+from repro.analysis.visualize import result_to_dot, to_dot
+from repro.harness.scenarios import figure1
+
+
+def test_figure1_dot_structure():
+    result = figure1()
+    dot = result_to_dot(result, title="figure 1")
+    assert dot.startswith("digraph recovery {")
+    assert dot.rstrip().endswith("}")
+    assert 'label="figure 1"' in dot
+    for pid in range(3):
+        assert f"subgraph cluster_p{pid}" in dot
+
+
+def test_lost_and_orphan_coloring():
+    result = figure1()
+    gt = build_ground_truth(result.trace, 3)
+    dot = to_dot(gt)
+    (lost_uid,) = gt.lost
+    (orphan_uid,) = gt.orphans()
+    lost_line = next(
+        line for line in dot.splitlines()
+        if f"s_{lost_uid[0]}_{lost_uid[1]}_{lost_uid[2]} [" in line
+    )
+    assert "red" in lost_line and "dashed" in lost_line
+    orphan_line = next(
+        line for line in dot.splitlines()
+        if f"s_{orphan_uid[0]}_{orphan_uid[1]}_{orphan_uid[2]} [" in line
+    )
+    assert "orange" in orphan_line
+
+
+def test_edges_present_and_infection_paths_red():
+    result = figure1()
+    gt = build_ground_truth(result.trace, 3)
+    dot = to_dot(gt)
+    arrow_lines = [line for line in dot.splitlines() if "->" in line]
+    assert len(arrow_lines) == len(gt.local_edges) + len(gt.message_edges)
+    # The lost state s12 sent m3: that edge must be red.
+    (lost_uid,) = gt.lost
+    infected = [
+        line for line in arrow_lines
+        if line.strip().startswith(
+            f"s_{lost_uid[0]}_{lost_uid[1]}_{lost_uid[2]} ->"
+        )
+    ]
+    assert infected and all("red" in line for line in infected)
+
+
+def test_size_cap():
+    result = figure1()
+    gt = build_ground_truth(result.trace, 3)
+    with pytest.raises(ValueError, match="max_states"):
+        to_dot(gt, max_states=2)
+
+
+def test_dot_is_deterministic():
+    a = result_to_dot(figure1())
+    b = result_to_dot(figure1())
+    assert a == b

@@ -1,0 +1,48 @@
+"""Unit tests for the Lamport scalar clock."""
+
+import pytest
+
+from repro.clocks.lamport import LamportClock
+
+
+def test_initial_value():
+    assert LamportClock().value == 0
+    assert LamportClock(5).value == 5
+
+
+def test_negative_initial_rejected():
+    with pytest.raises(ValueError):
+        LamportClock(-1)
+
+
+def test_tick_increments():
+    clock = LamportClock()
+    assert clock.tick() == 1
+    assert clock.tick() == 2
+
+
+def test_merge_takes_max_plus_one():
+    clock = LamportClock(3)
+    assert clock.merge(10) == 11
+    assert clock.merge(2) == 12
+
+
+def test_merge_rejects_negative():
+    with pytest.raises(ValueError):
+        LamportClock().merge(-1)
+
+
+def test_clock_condition_on_request_response_chain():
+    """a -> b implies C(a) < C(b) along a causal request/response chain."""
+    a, b = LamportClock(), LamportClock()
+    timestamps = []
+    for _ in range(5):
+        ts = a.tick()                    # a sends a request
+        timestamps.append(ts)
+        ts = b.merge(ts)                 # b receives it
+        timestamps.append(ts)
+        ts = b.tick()                    # b sends the response
+        timestamps.append(ts)
+        ts = a.merge(ts)                 # a receives it
+        timestamps.append(ts)
+    assert all(x < y for x, y in zip(timestamps, timestamps[1:]))

@@ -1,0 +1,77 @@
+"""Unit tests for the Mattern vector clock."""
+
+import pytest
+
+from repro.clocks.vector import VectorClock
+
+
+def test_constructors():
+    assert VectorClock.zero(3).entries == (0, 0, 0)
+    assert VectorClock.initial(1, 3).entries == (0, 1, 0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        VectorClock([])
+    with pytest.raises(ValueError):
+        VectorClock([1, -1])
+
+
+def test_tick_returns_new_instance():
+    a = VectorClock.zero(3)
+    b = a.tick(1)
+    assert a.entries == (0, 0, 0)
+    assert b.entries == (0, 1, 0)
+
+
+def test_merge_componentwise_max():
+    a = VectorClock([3, 0, 5])
+    b = VectorClock([1, 4, 5])
+    assert a.merge(b).entries == (3, 4, 5)
+
+
+def test_merge_length_mismatch():
+    with pytest.raises(ValueError):
+        VectorClock([1]).merge(VectorClock([1, 2]))
+
+
+def test_partial_order():
+    a = VectorClock([1, 0, 0])
+    b = VectorClock([1, 1, 0])
+    assert a < b
+    assert a <= b
+    assert not b < a
+    assert not a < a
+    assert a <= a
+
+
+def test_concurrency():
+    a = VectorClock([1, 0])
+    b = VectorClock([0, 1])
+    assert a.concurrent_with(b)
+    assert b.concurrent_with(a)
+    assert not a.concurrent_with(a)
+
+
+def test_equality_and_hash():
+    a = VectorClock([1, 2])
+    b = VectorClock([1, 2])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != VectorClock([2, 1])
+    assert a != "not a clock"
+
+
+def test_happen_before_iff_on_simulated_run():
+    """Classic three-process exchange: clock order == causal order."""
+    # P0 sends to P1; P1 sends to P2.  Events: a (send at P0),
+    # b (recv at P1), c (send at P1), d (recv at P2), e (local at P2 before d)
+    p0 = VectorClock.zero(3).tick(0)            # a
+    p1 = VectorClock.zero(3).merge(p0).tick(1)  # b
+    c = p1.tick(1)                              # c (send)
+    e = VectorClock.zero(3).tick(2)             # e, concurrent with all above
+    d = e.merge(c).tick(2)                      # d
+    assert p0 < d and c < d and p1 < d
+    assert e.concurrent_with(p0)
+    assert e.concurrent_with(c)
+    assert e < d

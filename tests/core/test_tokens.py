@@ -1,0 +1,41 @@
+"""Unit tests for recovery tokens."""
+
+import pytest
+
+from repro.core.ftvc import FaultTolerantVectorClock as FTVC
+from repro.core.tokens import RecoveryToken
+
+
+def test_fields():
+    token = RecoveryToken(origin=2, version=1, timestamp=7)
+    assert (token.origin, token.version, token.timestamp) == (2, 1, 7)
+    assert token.full_clock is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RecoveryToken(-1, 0, 0)
+    with pytest.raises(ValueError):
+        RecoveryToken(0, -1, 0)
+    with pytest.raises(ValueError):
+        RecoveryToken(0, 0, -1)
+
+
+def test_token_size_is_one_entry():
+    """Section 6.9: a token is one clock entry."""
+    assert RecoveryToken(0, 0, 5).piggyback_entries() == 1
+
+
+def test_remark1_token_carries_full_clock():
+    clock = FTVC.initial(0, 5)
+    token = RecoveryToken(0, 0, 5, full_clock=clock)
+    assert token.piggyback_entries() == 5
+
+
+def test_tokens_are_value_objects():
+    assert RecoveryToken(0, 1, 2) == RecoveryToken(0, 1, 2)
+    assert RecoveryToken(0, 1, 2) != RecoveryToken(0, 1, 3)
+
+
+def test_repr():
+    assert repr(RecoveryToken(1, 0, 3)) == "Token(P1 v0 ts3)"

@@ -1,0 +1,71 @@
+"""Tests for the Table 1 comparison battery and reporting."""
+
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.comparison import (
+    PAPER_TABLE1,
+    TABLE1_PROTOCOLS,
+    measure_protocol,
+    run_table1,
+)
+from repro.harness.reporting import (
+    format_table,
+    render_paper_comparison,
+    render_table1,
+)
+from repro.protocols.sender_based import SenderBasedProcess
+
+
+def test_measure_damani_garg_row():
+    row = measure_protocol(DamaniGargProcess, seeds=(0, 1))
+    assert row.name == "Damani-Garg"
+    assert row.safety_ok
+    assert row.ordering_assumption == "None"
+    assert row.asynchronous_recovery
+    assert row.max_rollbacks_per_failure <= 1
+    assert row.piggyback_entries_per_message == 4.0
+    assert row.concurrent_failures_safe is True
+    assert row.runs == 4          # 2 single-failure + 2 concurrent
+    assert row.paper_row == ("None", "Yes", "1", "O(n)", "n")
+
+
+def test_measure_sender_based_row():
+    row = measure_protocol(SenderBasedProcess, seeds=(0,))
+    assert not row.asynchronous_recovery
+    assert row.recovery_blocked_time > 0
+    assert row.piggyback_entries_per_message == 1.0
+
+
+def test_every_table1_protocol_has_paper_row():
+    for protocol in TABLE1_PROTOCOLS:
+        assert protocol.name in PAPER_TABLE1, protocol.name
+
+
+def test_run_table1_returns_all_rows():
+    rows = run_table1(seeds=(0,), include_context=False)
+    assert [r.name for r in rows] == [p.name for p in TABLE1_PROTOCOLS]
+    rows_with_context = run_table1(seeds=(0,), include_context=True)
+    assert len(rows_with_context) == len(rows) + 2
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(
+            ["a", "long-header"], [["xxxx", "1"], ["y", "22"]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[0:2])) <= 2
+        assert "long-header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_render_table1_includes_every_protocol(self):
+        rows = run_table1(seeds=(0,), include_context=False)
+        rendered = render_table1(rows)
+        for row in rows:
+            assert row.name in rendered
+
+    def test_render_paper_comparison_skips_context_rows(self):
+        rows = run_table1(seeds=(0,), include_context=True)
+        rendered = render_paper_comparison(rows)
+        assert "Pessimistic" not in rendered
+        assert "Damani-Garg" in rendered

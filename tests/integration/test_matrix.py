@@ -1,0 +1,139 @@
+"""Compatibility matrix: every protocol x every workload x failure.
+
+A broad sweep asserting that every protocol recovers every application
+(on the protocol's own contract), plus edge topologies (n = 1, n = 2,
+larger n).
+"""
+
+import pytest
+
+from repro.analysis import check_recovery
+from repro.apps import BankApp, PingPongApp, PipelineApp, RandomRoutingApp
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols import (
+    CausalLoggingProcess,
+    CoordinatedProcess,
+    PessimisticReceiverProcess,
+    PetersonKearnsProcess,
+    ProtocolConfig,
+    SenderBasedProcess,
+    SistlaWelchProcess,
+    SmithJohnsonTygarProcess,
+    StromYeminiProcess,
+)
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+ALL_PROTOCOLS = [
+    DamaniGargProcess,
+    SmithJohnsonTygarProcess,
+    StromYeminiProcess,
+    SenderBasedProcess,
+    SistlaWelchProcess,
+    PetersonKearnsProcess,
+    PessimisticReceiverProcess,
+    CoordinatedProcess,
+    CausalLoggingProcess,
+]
+
+WORKLOADS = {
+    "routing": RandomRoutingApp(hops=40, seeds=(0, 1), initial_items=2),
+    "bank": BankApp(seeds=(0, 2), max_chain=120),
+    "pipeline": PipelineApp(jobs=8),
+    "pingpong": PingPongApp(rounds=40),
+}
+
+
+def grade_kwargs(protocol):
+    strict = protocol not in (StromYeminiProcess, CoordinatedProcess)
+    return {
+        "expect_minimal_rollback": strict,
+        "expect_maximum_recovery": strict,
+        "expect_single_rollback_per_failure": strict,
+    }
+
+
+def run(protocol, app, *, n=4, crashes=None, seed=0, horizon=110.0):
+    spec = ExperimentSpec(
+        n=n,
+        app=app,
+        protocol=protocol,
+        crashes=crashes,
+        seed=seed,
+        horizon=horizon,
+        order=(
+            DeliveryOrder.FIFO
+            if protocol.requires_fifo
+            else DeliveryOrder.RANDOM
+        ),
+        config=ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5),
+    )
+    return run_experiment(spec)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=str)
+def test_matrix_single_failure(protocol, workload):
+    result = run(
+        protocol,
+        WORKLOADS[workload],
+        crashes=CrashPlan().crash(20.0, 1, 2.0),
+    )
+    verdict = check_recovery(result, **grade_kwargs(protocol))
+    assert verdict.ok, verdict.violations
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+def test_matrix_failure_free_makes_progress(protocol):
+    result = run(protocol, WORKLOADS["routing"])
+    assert result.total_delivered > 30
+    assert result.total_rollbacks == 0
+    assert result.total_restarts == 0
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+def test_matrix_single_process_topology(protocol):
+    """n = 1: no peers, no tokens; restart must still work locally."""
+    result = run(
+        protocol,
+        RandomRoutingApp(hops=10, seeds=(0,)),
+        n=1,
+        crashes=CrashPlan().crash(10.0, 0, 2.0),
+        horizon=40.0,
+    )
+    assert result.total_restarts == 1
+    verdict = check_recovery(result, **grade_kwargs(protocol))
+    assert verdict.ok, verdict.violations
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+def test_matrix_two_processes(protocol):
+    result = run(
+        protocol,
+        PingPongApp(rounds=60),
+        n=2,
+        crashes=CrashPlan().crash(15.0, 1, 2.0),
+        horizon=120.0,
+    )
+    verdict = check_recovery(result, **grade_kwargs(protocol))
+    assert verdict.ok, verdict.violations
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    [DamaniGargProcess, SmithJohnsonTygarProcess,
+     PessimisticReceiverProcess, SenderBasedProcess],
+    ids=lambda p: p.name,
+)
+def test_matrix_larger_topology(protocol):
+    """n = 10 with two failures, for the n-tolerant protocols."""
+    result = run(
+        protocol,
+        RandomRoutingApp(hops=60, seeds=(0, 1, 2, 3), initial_items=2),
+        n=10,
+        crashes=CrashPlan().crash(20.0, 3, 2.0).crash(40.0, 7, 2.0),
+        horizon=120.0,
+    )
+    verdict = check_recovery(result, **grade_kwargs(protocol))
+    assert verdict.ok, verdict.violations

@@ -1,0 +1,136 @@
+"""Property-based tests for clock data structures (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.vector import VectorClock
+from repro.core.ftvc import ClockEntry, FaultTolerantVectorClock as FTVC
+
+entries = st.tuples(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=50),
+)
+
+
+def ftvc(n):
+    return st.lists(entries, min_size=n, max_size=n).map(FTVC.of)
+
+
+def vclock(n):
+    return st.lists(
+        st.integers(min_value=0, max_value=100), min_size=n, max_size=n
+    ).map(VectorClock)
+
+
+class TestFTVCAlgebra:
+    @given(ftvc(4), ftvc(4))
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(ftvc(4), ftvc(4), ftvc(4))
+    def test_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(ftvc(4))
+    def test_merge_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(ftvc(4), ftvc(4))
+    def test_merge_is_least_upper_bound(self, a, b):
+        m = a.merge(b)
+        assert a <= m and b <= m
+
+    @given(ftvc(4), st.integers(min_value=0, max_value=3))
+    def test_tick_strictly_increases(self, a, pid):
+        assert a < a.tick(pid)
+
+    @given(ftvc(4), st.integers(min_value=0, max_value=3))
+    def test_restart_strictly_increases(self, a, pid):
+        assert a < a.restart(pid)
+        assert a.restart(pid)[pid].timestamp == 0
+
+    @given(ftvc(4), ftvc(4))
+    def test_order_antisymmetric(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+    @given(ftvc(4), ftvc(4), ftvc(4))
+    def test_order_transitive(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(ftvc(4), ftvc(4))
+    def test_trichotomy_of_comparabilities(self, a, b):
+        cases = [a == b, a < b, b < a, a.concurrent_with(b)]
+        assert sum(cases) == 1
+
+    @given(ftvc(4), ftvc(4), ftvc(4))
+    def test_merge_monotone(self, a, b, c):
+        if a <= b:
+            assert a.merge(c) <= b.merge(c)
+
+
+class TestClockEntryOrder:
+    @given(entries, entries)
+    def test_entry_order_matches_lexicographic(self, x, y):
+        a, b = ClockEntry(*x), ClockEntry(*y)
+        assert (a < b) == (x < y)
+
+
+class TestVectorClockAlgebra:
+    @given(vclock(3), vclock(3))
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(vclock(3))
+    def test_merge_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(vclock(3), st.integers(min_value=0, max_value=2))
+    def test_tick_strictly_increases(self, a, pid):
+        assert a < a.tick(pid)
+
+    @given(vclock(3), vclock(3))
+    def test_concurrency_symmetric(self, a, b):
+        assert a.concurrent_with(b) == b.concurrent_with(a)
+
+
+class TestFTVCSimulatedCausality:
+    """Drive random message exchanges and check the clock condition
+    (failure-free: FTVC must behave exactly like Mattern's clock)."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_clock_condition(self, sends):
+        n = 4
+        clocks = [FTVC.initial(i, n) for i in range(n)]
+        past: list[set[int]] = [set() for _ in range(n)]  # event indices
+        events: list[tuple[FTVC, set[int]]] = []
+
+        for src, dst in sends:
+            if src == dst:
+                continue
+            message_clock = clocks[src]
+            message_past = set(past[src])
+            clocks[src] = clocks[src].tick(src)
+            clocks[dst] = clocks[dst].merge(message_clock).tick(dst)
+            idx = len(events)
+            event_past = past[dst] | message_past
+            events.append((clocks[dst], event_past))
+            past[dst] = event_past | {idx}
+
+        for i, (ci, _) in enumerate(events):
+            for j, (cj, past_j) in enumerate(events):
+                if i == j:
+                    continue
+                hb = i in past_j
+                assert (ci < cj) == hb

@@ -1,0 +1,114 @@
+"""Property-based tests for the history mechanism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ftvc import FaultTolerantVectorClock as FTVC
+from repro.core.history import History, RecordKind
+from repro.core.tokens import RecoveryToken
+
+N = 3
+
+clock_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=N,
+    max_size=N,
+).map(FTVC.of)
+
+token_strategy = st.builds(
+    RecoveryToken,
+    origin=st.integers(min_value=0, max_value=N - 1),
+    version=st.integers(min_value=0, max_value=3),
+    timestamp=st.integers(min_value=0, max_value=30),
+)
+
+operation = st.one_of(
+    st.tuples(st.just("msg"), clock_strategy),
+    st.tuples(st.just("tok"), token_strategy),
+)
+
+
+def apply_ops(history, ops):
+    for kind, value in ops:
+        if kind == "msg":
+            # Only non-obsolete messages reach observe_message_clock in the
+            # real protocol; mirror that contract.
+            if not history.is_obsolete(value):
+                history.observe_message_clock(value)
+        else:
+            history.observe_token(value)
+
+
+@given(st.lists(operation, max_size=40))
+@settings(max_examples=80)
+def test_one_record_per_process_version(ops):
+    history = History(0, N)
+    apply_ops(history, ops)
+    for j in range(N):
+        versions = [r.version for r in history.records_for(j)]
+        assert len(versions) == len(set(versions))
+
+
+@given(st.lists(operation, max_size=40))
+@settings(max_examples=80)
+def test_size_bounded_by_n_times_versions(ops):
+    history = History(0, N)
+    apply_ops(history, ops)
+    max_version = 0
+    for j in range(N):
+        for r in history.records_for(j):
+            max_version = max(max_version, r.version)
+    assert history.size() <= N * (max_version + 1)
+
+
+@given(st.lists(operation, max_size=40))
+@settings(max_examples=80)
+def test_token_records_are_final(ops):
+    history = History(0, N)
+    token = RecoveryToken(1, 0, 5)
+    history.observe_token(token)
+    apply_ops(history, [op for op in ops if op[0] == "msg"])
+    record = history.record(1, 0)
+    assert record.kind is RecordKind.TOKEN
+    assert record.timestamp == 5
+
+
+@given(st.lists(clock_strategy, max_size=30))
+@settings(max_examples=80)
+def test_message_records_monotone(clocks):
+    history = History(0, N)
+    best: dict[tuple[int, int], int] = {}
+    for clock in clocks:
+        history.observe_message_clock(clock)
+        for j, entry in enumerate(clock):
+            key = (j, entry.version)
+            best[key] = max(best.get(key, 0), entry.timestamp)
+    for (j, version), timestamp in best.items():
+        record = history.record(j, version)
+        assert record is not None
+        assert record.timestamp >= timestamp
+
+
+@given(token_strategy, clock_strategy)
+def test_orphan_and_survives_are_complements_for_message_records(token, clock):
+    history = History(0, N)
+    history.observe_message_clock(clock)
+    assert history.orphaned_by(token) == (not history.survives_token(token))
+
+
+@given(st.lists(operation, max_size=40), clock_strategy)
+@settings(max_examples=80)
+def test_snapshot_isolated_from_future_updates(ops, extra):
+    history = History(0, N)
+    apply_ops(history, ops)
+    snap = history.snapshot()
+    before = {(j, r.version, r.kind, r.timestamp)
+              for j in range(N) for r in snap.records_for(j)}
+    history.observe_message_clock(extra)
+    history.observe_token(RecoveryToken(1, 3, 9))
+    after = {(j, r.version, r.kind, r.timestamp)
+             for j in range(N) for r in snap.records_for(j)}
+    assert before == after

@@ -1,0 +1,103 @@
+"""Randomized end-to-end recovery properties (hypothesis).
+
+The flagship property: for *any* workload seed, crash schedule, delivery
+order, and logging/checkpoint cadence, a finished run must satisfy every
+oracle check -- no surviving orphans, minimal rollback, at most one
+rollback per failure, maximal recovery -- and Theorem 1 must hold on the
+useful states.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_recovery, check_theorem1
+from repro.apps import RandomRoutingApp
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+crash_events = st.lists(
+    st.tuples(
+        st.floats(min_value=5.0, max_value=50.0),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=1.0, max_value=4.0),
+    ),
+    max_size=3,
+)
+
+
+def build_plan(events):
+    plan = CrashPlan()
+    for time, pid, downtime in events:
+        plan.crash(time, pid, downtime)
+    plan.events.sort(key=lambda e: (e.time, e.pid))
+    return plan
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    events=crash_events,
+    order=st.sampled_from([DeliveryOrder.RANDOM, DeliveryOrder.FIFO]),
+    flush=st.floats(min_value=1.0, max_value=6.0),
+    ckpt=st.floats(min_value=4.0, max_value=15.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_recovery_is_always_correct(seed, events, order, flush, ckpt):
+    spec = ExperimentSpec(
+        n=4,
+        app=RandomRoutingApp(hops=40, seeds=(0, 1), initial_items=2),
+        protocol=DamaniGargProcess,
+        crashes=build_plan(events),
+        seed=seed,
+        horizon=80.0,
+        order=order,
+        config=ProtocolConfig(checkpoint_interval=ckpt, flush_interval=flush),
+    )
+    result = run_experiment(spec)
+    verdict = check_recovery(result)
+    assert verdict.ok, verdict.violations
+    report = check_theorem1(result, max_states=250)
+    assert report.ok, report.violations
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    events=crash_events,
+)
+@settings(max_examples=15, deadline=None)
+def test_retransmission_extension_is_also_correct(seed, events):
+    spec = ExperimentSpec(
+        n=4,
+        app=RandomRoutingApp(hops=40, seeds=(0, 1), initial_items=2),
+        protocol=DamaniGargProcess,
+        crashes=build_plan(events),
+        seed=seed,
+        horizon=80.0,
+        config=ProtocolConfig(
+            checkpoint_interval=8.0,
+            flush_interval=2.5,
+            retransmit_on_token=True,
+        ),
+    )
+    result = run_experiment(spec)
+    verdict = check_recovery(result)
+    assert verdict.ok, verdict.violations
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_identical_seeds_are_bit_identical(seed):
+    def once():
+        spec = ExperimentSpec(
+            n=3,
+            app=RandomRoutingApp(hops=30, seeds=(0,), initial_items=2),
+            protocol=DamaniGargProcess,
+            crashes=CrashPlan().crash(15.0, 1, 2.0),
+            seed=seed,
+            horizon=60.0,
+        )
+        return run_experiment(spec).trace.signature()
+
+    assert once() == once()

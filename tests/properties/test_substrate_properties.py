@@ -1,0 +1,144 @@
+"""Property-based tests for the simulation substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import DeliveryOrder, Network, UniformLatency
+from repro.sim.rng import RandomStreams
+from repro.storage.log import MessageLog
+
+
+class TestKernelProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired: list[float] = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                st.integers(min_value=-2, max_value=2),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_priority_then_fifo_within_same_time(self, jobs):
+        sim = Simulator()
+        fired: list[tuple[float, int, int]] = []
+        for seq, (delay, priority) in enumerate(jobs):
+            sim.schedule(
+                delay,
+                lambda d=delay, p=priority, s=seq: fired.append((d, p, s)),
+                priority=priority,
+            )
+        sim.run()
+        assert fired == sorted(fired)
+
+
+class TestNetworkProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        count=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=40)
+    def test_fifo_channels_never_reorder(self, seed, count):
+        sim = Simulator()
+        net = Network(
+            sim, 2, streams=RandomStreams(seed),
+            latency=UniformLatency(0.1, 5.0), order=DeliveryOrder.FIFO,
+        )
+        received: list[int] = []
+        net.register(0, lambda m: None)
+        net.register(1, lambda m: received.append(m.payload))
+        for i in range(count):
+            net.send(0, 1, i)
+        sim.run()
+        assert received == list(range(count))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        count=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=40)
+    def test_random_order_loses_nothing(self, seed, count):
+        sim = Simulator()
+        net = Network(
+            sim, 2, streams=RandomStreams(seed),
+            latency=UniformLatency(0.1, 5.0), order=DeliveryOrder.RANDOM,
+        )
+        received: list[int] = []
+        net.register(0, lambda m: None)
+        net.register(1, lambda m: received.append(m.payload))
+        for i in range(count):
+            net.send(0, 1, i)
+        sim.run()
+        assert sorted(received) == list(range(count))
+
+
+# A tiny operation language for the message log.
+log_op = st.one_of(
+    st.tuples(st.just("append"), st.integers(0, 1000)),
+    st.tuples(st.just("flush"), st.none()),
+    st.tuples(st.just("crash"), st.none()),
+)
+
+
+class TestMessageLogProperties:
+    @given(st.lists(log_op, max_size=60))
+    @settings(max_examples=80)
+    def test_stable_prefix_is_never_lost_by_crash(self, ops):
+        """Whatever was flushed survives any interleaving of appends,
+        flushes and crashes, in order."""
+        log = MessageLog()
+        model_stable: list[int] = []
+        model_volatile: list[int] = []
+        for op, value in ops:
+            if op == "append":
+                log.append(value, 0, value)
+                model_volatile.append(value)
+            elif op == "flush":
+                log.flush()
+                model_stable.extend(model_volatile)
+                model_volatile.clear()
+            else:
+                log.on_crash()
+                model_volatile.clear()
+        assert [e.payload for e in log.stable_entries()] == model_stable
+        assert log.volatile_length == len(model_volatile)
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_gc_then_truncate_preserve_absolute_indexing(self, values, data):
+        log = MessageLog()
+        for v in values:
+            log.append(v, 0, v)
+        log.flush()
+        gc_point = data.draw(
+            st.integers(min_value=0, max_value=len(values))
+        )
+        log.discard_prefix(gc_point)
+        keep = data.draw(
+            st.integers(min_value=gc_point, max_value=len(values))
+        )
+        log.truncate(keep)
+        survivors = log.stable_entries(gc_point)
+        assert [e.payload for e in survivors] == values[gc_point:keep]
+        for offset, entry in enumerate(survivors):
+            assert entry.index == gc_point + offset

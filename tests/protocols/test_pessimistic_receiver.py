@@ -1,0 +1,65 @@
+"""Tests for pessimistic receiver-based logging."""
+
+from repro.analysis import check_recovery
+from repro.analysis.causality import build_ground_truth
+from repro.apps import RandomRoutingApp
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.pessimistic_receiver import PessimisticReceiverProcess
+from repro.sim.failures import CrashPlan
+
+
+def run(seed=0, crashes=None, n=4):
+    spec = ExperimentSpec(
+        n=n,
+        app=RandomRoutingApp(hops=40, seeds=(0, 1), initial_items=3),
+        protocol=PessimisticReceiverProcess,
+        crashes=crashes,
+        seed=seed,
+        horizon=100.0,
+        config=ProtocolConfig(checkpoint_interval=10.0),
+    )
+    return run_experiment(spec)
+
+
+def test_nothing_is_ever_lost():
+    for seed in range(5):
+        result = run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        gt = build_ground_truth(result.trace, 4)
+        assert gt.lost == set()
+        assert gt.orphans() == set()
+
+
+def test_no_rollbacks_ever():
+    result = run(crashes=CrashPlan().crash(20.0, 1, 2.0).crash(40.0, 2, 2.0))
+    assert result.total_rollbacks == 0
+    assert result.total_restarts == 2
+
+
+def test_oracle_passes():
+    for seed in range(5):
+        verdict = check_recovery(
+            run(seed=seed, crashes=CrashPlan().concurrent(25.0, [0, 2], 3.0))
+        )
+        assert verdict.ok, verdict.violations
+
+
+def test_sync_write_per_message_is_the_cost():
+    result = run()
+    for protocol in result.protocols:
+        assert protocol.stats.sync_log_writes == protocol.stats.app_delivered
+
+
+def test_no_clock_piggyback():
+    result = run()
+    # One dedup scalar, no vector clock.
+    assert result.protocols[0].piggyback_entry_count() == 1
+    assert (
+        result.total("piggyback_entries") == result.total("app_sent")
+    )
+
+
+def test_no_control_messages():
+    result = run(crashes=CrashPlan().crash(20.0, 1, 2.0))
+    assert result.total("control_sent") == 0
+    assert result.total("tokens_sent") == 0

@@ -1,0 +1,72 @@
+"""Tests for the Peterson-Kearns baseline."""
+
+from repro.analysis import check_recovery
+from repro.apps import RandomRoutingApp
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.peterson_kearns import PetersonKearnsProcess
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+
+def run(seed=0, crashes=None, n=4):
+    spec = ExperimentSpec(
+        n=n,
+        app=RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3),
+        protocol=PetersonKearnsProcess,
+        crashes=crashes,
+        seed=seed,
+        horizon=110.0,
+        order=DeliveryOrder.FIFO,
+        config=ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5),
+    )
+    return run_experiment(spec)
+
+
+def test_single_failure_recovers_correctly():
+    for seed in range(6):
+        verdict = check_recovery(
+            run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        )
+        assert verdict.ok, (seed, verdict.violations)
+
+
+def test_sequential_failures_recover_correctly():
+    """Non-overlapping recoveries are inside the contract."""
+    for seed in range(4):
+        verdict = check_recovery(
+            run(
+                seed=seed,
+                crashes=CrashPlan().crash(15.0, 1, 2.0).crash(50.0, 2, 2.0),
+            )
+        )
+        assert verdict.ok, (seed, verdict.violations)
+
+
+def test_at_most_one_rollback_per_failure():
+    for seed in range(6):
+        result = run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        assert result.max_rollbacks_for_single_failure() <= 1
+
+
+def test_recovery_blocks_until_all_acks():
+    result = run(seed=1, crashes=CrashPlan().crash(20.0, 1, 2.0))
+    failed = result.protocols[1]
+    assert failed.stats.blocked_time > 0
+    assert PetersonKearnsProcess.asynchronous_recovery is False
+
+
+def test_epoch_advances_on_every_failure():
+    result = run(
+        seed=2, crashes=CrashPlan().crash(15.0, 1, 2.0).crash(50.0, 2, 2.0)
+    )
+    for protocol in result.protocols:
+        assert protocol.epoch == 2
+
+
+def test_piggyback_is_n_plus_epoch():
+    result = run(n=5, crashes=None)
+    per_message = result.total("piggyback_entries") / max(
+        1, result.total("app_sent")
+    )
+    assert per_message == 6.0        # n timestamps + 1 epoch scalar

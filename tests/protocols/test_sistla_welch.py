@@ -1,0 +1,75 @@
+"""Tests for the Sistla-Welch baseline."""
+
+from repro.analysis import check_recovery
+from repro.apps import RandomRoutingApp
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.sistla_welch import SistlaWelchProcess
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+
+def run(seed=0, crashes=None, n=4):
+    spec = ExperimentSpec(
+        n=n,
+        app=RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3),
+        protocol=SistlaWelchProcess,
+        crashes=crashes,
+        seed=seed,
+        horizon=110.0,
+        order=DeliveryOrder.FIFO,
+        config=ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5),
+    )
+    return run_experiment(spec)
+
+
+def test_single_failure_recovers_correctly():
+    for seed in range(6):
+        verdict = check_recovery(
+            run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        )
+        assert verdict.ok, (seed, verdict.violations)
+
+
+def test_sequential_failures_recover_correctly():
+    for seed in range(4):
+        verdict = check_recovery(
+            run(
+                seed=seed,
+                crashes=CrashPlan().crash(15.0, 1, 2.0).crash(55.0, 2, 2.0),
+            )
+        )
+        assert verdict.ok, (seed, verdict.violations)
+
+
+def test_at_most_one_rollback_per_failure():
+    for seed in range(6):
+        result = run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        assert result.max_rollbacks_for_single_failure() <= 1
+
+
+def test_everyone_pauses_during_the_session():
+    """The synchronous cost: all n processes block during recovery."""
+    result = run(seed=1, crashes=CrashPlan().crash(20.0, 1, 2.0))
+    blocked = [p.stats.blocked_time for p in result.protocols]
+    assert all(b > 0 for b in blocked)
+    assert SistlaWelchProcess.asynchronous_recovery is False
+
+
+def test_session_costs_n_rounds_of_control_traffic():
+    quiet = run(seed=1)
+    noisy = run(seed=1, crashes=CrashPlan().crash(20.0, 1, 2.0))
+    extra = noisy.total("control_sent") - quiet.total("control_sent")
+    n = 4
+    # begin-(n-1) handled as token; rounds: n * (n-1) requests + replies,
+    # plus the commit broadcast.
+    assert extra >= n * (n - 1)
+
+
+def test_commits_survive_later_crashes():
+    result = run(
+        seed=2, crashes=CrashPlan().crash(15.0, 1, 2.0).crash(55.0, 1, 2.0)
+    )
+    verdict = check_recovery(result)
+    assert verdict.ok, verdict.violations
+    assert result.protocols[1].epoch == 2

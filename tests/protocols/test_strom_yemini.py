@@ -1,0 +1,87 @@
+"""Tests for the Strom-Yemini baseline."""
+
+from repro.analysis import check_recovery
+from repro.apps import RandomRoutingApp
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.strom_yemini import StromYeminiProcess
+from repro.sim.failures import CrashPlan
+from repro.sim.network import DeliveryOrder
+
+
+def run(seed=0, crashes=None, n=4, hops=50):
+    spec = ExperimentSpec(
+        n=n,
+        app=RandomRoutingApp(hops=hops, seeds=(0, 1), initial_items=3),
+        protocol=StromYeminiProcess,
+        crashes=crashes,
+        seed=seed,
+        horizon=110.0,
+        order=DeliveryOrder.FIFO,
+        config=ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5),
+    )
+    return run_experiment(spec)
+
+
+def grade(result):
+    """S-Y promises safety but not minimality or single rollbacks."""
+    return check_recovery(
+        result,
+        expect_minimal_rollback=False,
+        expect_single_rollback_per_failure=False,
+        expect_maximum_recovery=False,
+    )
+
+
+def test_safety_single_failure():
+    for seed in range(6):
+        verdict = grade(run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0)))
+        assert verdict.ok, (seed, verdict.violations)
+
+
+def test_safety_sequential_failures():
+    for seed in range(4):
+        verdict = grade(
+            run(
+                seed=seed,
+                crashes=CrashPlan().crash(15.0, 1, 2.0).crash(40.0, 2, 2.0),
+            )
+        )
+        assert verdict.ok, (seed, verdict.violations)
+
+
+def test_rollback_creates_new_incarnation_and_announcement():
+    for seed in range(10):
+        result = run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        if result.total_rollbacks > 0:
+            # Rollback announcements: more tokens than the n-1 of the restart.
+            assert result.total("tokens_sent") > result.spec.n - 1
+            return
+    raise AssertionError("no seed produced a rollback")
+
+
+def test_can_roll_back_more_than_once_per_failure():
+    """The Table 1 headline: unlike Damani-Garg, one root failure can make
+    the same process roll back repeatedly (announcement cascades)."""
+    seen = 0
+    for seed in range(30):
+        result = run(seed=seed, crashes=CrashPlan().crash(20.0, 1, 2.0))
+        seen = max(seen, result.max_rollbacks_for_single_failure())
+        if seen > 1:
+            break
+    assert seen > 1, "expected a multi-rollback cascade in 30 seeds"
+
+
+def test_incarnation_ends_only_shrink():
+    result = run(seed=2, crashes=CrashPlan().crash(15.0, 1, 2.0).crash(40.0, 1, 2.0))
+    for protocol in result.protocols:
+        for (pid, inc), end in protocol.iet.items():
+            assert end >= -1
+
+
+def test_piggyback_is_O_n():
+    result = run(n=6, crashes=None)
+    per_message = result.total("piggyback_entries") / max(
+        1, result.total("app_sent")
+    )
+    assert per_message == 6.0

@@ -1,0 +1,130 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.sim.failures import (
+    CrashEvent,
+    CrashPlan,
+    FailureInjector,
+    PartitionPlan,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import FixedLatency, Network
+from repro.sim.process import ProcessHost
+from repro.sim.rng import RandomStreams
+
+
+class NullProtocol:
+    def on_start(self):
+        pass
+
+    def on_network_message(self, msg):
+        pass
+
+    def on_crash(self):
+        pass
+
+    def on_restart(self):
+        pass
+
+
+def make_stack(n=3):
+    sim = Simulator()
+    net = Network(sim, n, latency=FixedLatency(1.0))
+    hosts = [ProcessHost(pid, sim, net) for pid in range(n)]
+    for h in hosts:
+        h.attach(NullProtocol())
+    return sim, net, hosts
+
+
+def test_crash_plan_builder():
+    plan = CrashPlan().crash(5.0, 1).crash(9.0, 2, downtime=3.0)
+    assert plan.failure_count == 2
+    assert plan.events[1].downtime == 3.0
+
+
+def test_crash_event_validation():
+    with pytest.raises(ValueError):
+        CrashEvent(-1.0, 0)
+    with pytest.raises(ValueError):
+        CrashEvent(1.0, 0, downtime=0.0)
+
+
+def test_concurrent_builder():
+    plan = CrashPlan().concurrent(5.0, [0, 1, 2])
+    assert plan.failure_count == 3
+    assert all(e.time == 5.0 for e in plan.events)
+
+
+def test_injector_executes_crash_and_restart():
+    sim, net, hosts = make_stack()
+    plan = CrashPlan().crash(5.0, 1, downtime=2.0)
+    FailureInjector(sim, hosts, net).install(plan)
+    sim.run(until=5.5)
+    assert not hosts[1].alive
+    sim.run(until=7.5)
+    assert hosts[1].alive
+    assert hosts[1].crash_count == 1
+
+
+def test_crash_precedes_same_time_delivery():
+    """A message arriving at the crash instant must be buffered, not lost."""
+    sim, net, hosts = make_stack()
+    received = []
+    hosts[1]._protocol.on_network_message = lambda m: received.append(m.payload)
+    net.send(0, 1, "at-crash-time", latency=5.0)
+    FailureInjector(sim, hosts, net).install(CrashPlan().crash(5.0, 1, 1.0))
+    sim.run()
+    assert received == ["at-crash-time"]   # delivered after restart
+
+
+def test_poisson_plan_reproducible():
+    a = CrashPlan.poisson(n=4, horizon=100.0, rate=0.05,
+                          streams=RandomStreams(7))
+    b = CrashPlan.poisson(n=4, horizon=100.0, rate=0.05,
+                          streams=RandomStreams(7))
+    assert a.events == b.events
+    assert all(e.time < 100.0 for e in a.events)
+
+
+def test_poisson_rate_scales_failures():
+    low = CrashPlan.poisson(n=8, horizon=200.0, rate=0.01,
+                            streams=RandomStreams(1))
+    high = CrashPlan.poisson(n=8, horizon=200.0, rate=0.1,
+                             streams=RandomStreams(1))
+    assert high.failure_count > low.failure_count
+
+
+def test_poisson_max_failures_cap():
+    plan = CrashPlan.poisson(n=2, horizon=1e6, rate=1.0,
+                             streams=RandomStreams(1),
+                             max_failures_per_process=3)
+    per_pid = {}
+    for e in plan.events:
+        per_pid[e.pid] = per_pid.get(e.pid, 0) + 1
+    assert all(count <= 3 for count in per_pid.values())
+
+
+def test_partition_plan_executes():
+    sim, net, hosts = make_stack()
+    received = []
+    hosts[2]._protocol.on_network_message = lambda m: received.append(m.payload)
+    plan = PartitionPlan().partition(2.0, [[0, 1], [2]], heal_time=10.0)
+    FailureInjector(sim, hosts, net).install(partitions=plan)
+    sim.schedule_at(3.0, lambda: net.send(0, 2, "cross"))
+    sim.run(until=9.0)
+    assert received == []
+    sim.run()
+    assert received == ["cross"]
+
+
+def test_partition_requires_network():
+    sim, _, hosts = make_stack()
+    injector = FailureInjector(sim, hosts, network=None)
+    with pytest.raises(ValueError):
+        injector.install(partitions=PartitionPlan().partition(1.0, [[0, 1, 2]], 2.0))
+
+
+def test_partition_heal_before_form_rejected():
+    with pytest.raises(ValueError):
+        PartitionPlan().partition(5.0, [[0], [1]], heal_time=5.0)

@@ -1,0 +1,68 @@
+"""Tests for latency models, including the scripted model the figure
+scenarios rely on."""
+
+import random
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import (
+    FixedLatency,
+    Network,
+    ScriptedLatency,
+    UniformLatency,
+)
+from repro.sim.rng import RandomStreams
+
+
+def test_fixed_latency_constant():
+    model = FixedLatency(3.5)
+    rng = random.Random(0)
+    assert [model.sample(rng, 0, 1, "app") for _ in range(3)] == [3.5] * 3
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(1.0, 2.0)
+    rng = random.Random(0)
+    samples = [model.sample(rng, 0, 1, "app") for _ in range(100)]
+    assert all(1.0 <= s <= 2.0 for s in samples)
+    assert len(set(samples)) > 10
+
+
+class TestScriptedLatency:
+    def test_planned_delays_pop_in_order(self):
+        model = ScriptedLatency(default=9.0).plan(0, 1, 1.0, 2.0, 3.0)
+        rng = random.Random(0)
+        assert model.sample(rng, 0, 1, "app") == 1.0
+        assert model.sample(rng, 0, 1, "app") == 2.0
+        assert model.sample(rng, 0, 1, "app") == 3.0
+        # Exhausted: falls back to the default.
+        assert model.sample(rng, 0, 1, "app") == 9.0
+
+    def test_channels_are_independent(self):
+        model = ScriptedLatency(default=9.0).plan(0, 1, 1.0).plan(1, 0, 2.0)
+        rng = random.Random(0)
+        assert model.sample(rng, 1, 0, "app") == 2.0
+        assert model.sample(rng, 0, 1, "app") == 1.0
+
+    def test_kinds_are_independent(self):
+        model = (
+            ScriptedLatency(default=9.0)
+            .plan(0, 1, 1.0)
+            .plan(0, 1, 5.0, kind="token")
+        )
+        rng = random.Random(0)
+        assert model.sample(rng, 0, 1, "token") == 5.0
+        assert model.sample(rng, 0, 1, "app") == 1.0
+
+    def test_drives_network_delivery_times(self):
+        sim = Simulator()
+        model = ScriptedLatency(default=1.0).plan(0, 1, 7.0, 2.0)
+        net = Network(sim, 2, streams=RandomStreams(0), latency=model)
+        arrivals = []
+        net.register(0, lambda m: None)
+        net.register(1, lambda m: arrivals.append((sim.now, m.payload)))
+        net.send(0, 1, "slow")
+        net.send(0, 1, "fast")
+        sim.run()
+        assert arrivals == [(2.0, "fast"), (7.0, "slow")]

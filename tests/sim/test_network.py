@@ -1,0 +1,167 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import (
+    DeliveryOrder,
+    FixedLatency,
+    Network,
+    UniformLatency,
+)
+from repro.sim.rng import RandomStreams
+
+
+def make_net(n=3, order=DeliveryOrder.RANDOM, latency=None, seed=0):
+    sim = Simulator()
+    net = Network(
+        sim,
+        n,
+        streams=RandomStreams(seed),
+        latency=latency or UniformLatency(0.5, 1.5),
+        order=order,
+    )
+    inboxes = {pid: [] for pid in range(n)}
+    for pid in range(n):
+        net.register(pid, lambda m, pid=pid: inboxes[pid].append(m))
+    return sim, net, inboxes
+
+
+def test_point_to_point_delivery():
+    sim, net, inboxes = make_net()
+    net.send(0, 1, "hello")
+    sim.run()
+    assert [m.payload for m in inboxes[1]] == ["hello"]
+    assert inboxes[0] == [] and inboxes[2] == []
+
+
+def test_message_ids_are_unique_and_increasing():
+    sim, net, _ = make_net()
+    ids = [net.send(0, 1, i).msg_id for i in range(5)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_fifo_preserves_per_channel_order():
+    sim, net, inboxes = make_net(order=DeliveryOrder.FIFO, seed=3)
+    for i in range(50):
+        net.send(0, 1, i)
+    sim.run()
+    assert [m.payload for m in inboxes[1]] == list(range(50))
+
+
+def test_random_order_reorders_some_messages():
+    sim, net, inboxes = make_net(order=DeliveryOrder.RANDOM, seed=3)
+    for i in range(50):
+        net.send(0, 1, i)
+    sim.run()
+    received = [m.payload for m in inboxes[1]]
+    assert sorted(received) == list(range(50))
+    assert received != list(range(50))   # with this seed, reordering occurs
+
+
+def test_latency_override_forces_exact_timing():
+    sim, net, inboxes = make_net(latency=UniformLatency(5.0, 9.0))
+    net.send(0, 1, "slow")
+    net.send(0, 1, "fast", latency=0.1)
+    sim.run(until=1.0)
+    assert [m.payload for m in inboxes[1]] == ["fast"]
+
+
+def test_broadcast_excludes_self_by_default():
+    sim, net, inboxes = make_net(n=4)
+    sent = net.broadcast(2, "tok")
+    sim.run()
+    assert len(sent) == 3
+    assert inboxes[2] == []
+    for pid in (0, 1, 3):
+        assert [m.payload for m in inboxes[pid]] == ["tok"]
+
+
+def test_broadcast_include_self():
+    sim, net, inboxes = make_net(n=3)
+    net.broadcast(0, "tok", include_self=True)
+    sim.run()
+    assert [m.payload for m in inboxes[0]] == ["tok"]
+
+
+def test_partition_holds_cross_group_messages():
+    sim, net, inboxes = make_net(n=4, latency=FixedLatency(1.0))
+    net.partition([[0, 1], [2, 3]])
+    net.send(0, 2, "blocked")
+    net.send(0, 1, "local")
+    sim.run()
+    assert [m.payload for m in inboxes[1]] == ["local"]
+    assert inboxes[2] == []
+    assert net.held_messages == 1
+
+
+def test_heal_releases_held_messages():
+    sim, net, inboxes = make_net(n=4, latency=FixedLatency(1.0))
+    net.partition([[0, 1], [2, 3]])
+    net.send(0, 2, "delayed")
+    sim.run()
+    net.heal()
+    sim.run()
+    assert [m.payload for m in inboxes[2]] == ["delayed"]
+    assert net.held_messages == 0
+
+
+def test_partition_catches_in_flight_messages():
+    sim, net, inboxes = make_net(n=2, latency=FixedLatency(5.0))
+    net.send(0, 1, "in-flight")
+    sim.run(until=1.0)
+    net.partition([[0], [1]])
+    sim.run(until=20.0)
+    assert inboxes[1] == []           # caught mid-flight and held
+    net.heal()
+    sim.run()
+    assert [m.payload for m in inboxes[1]] == ["in-flight"]
+
+
+def test_partition_validation():
+    sim, net, _ = make_net(n=3)
+    with pytest.raises(ValueError, match="missing"):
+        net.partition([[0, 1]])
+    with pytest.raises(ValueError, match="two partition groups"):
+        net.partition([[0, 1], [1, 2]])
+
+
+def test_register_twice_rejected():
+    sim = Simulator()
+    net = Network(sim, 2)
+    net.register(0, lambda m: None)
+    with pytest.raises(ValueError):
+        net.register(0, lambda m: None)
+    with pytest.raises(ValueError):
+        net.register(5, lambda m: None)
+
+
+def test_send_counts_by_kind():
+    sim, net, _ = make_net()
+    net.send(0, 1, "a")
+    net.send(0, 1, "b", kind="token")
+    net.send(0, 1, "c", kind="token")
+    sim.run()
+    assert net.sent_count == {"app": 1, "token": 2}
+    assert net.delivered_count == {"app": 1, "token": 2}
+
+
+def test_deterministic_delivery_times():
+    def run_once():
+        sim, net, inboxes = make_net(seed=11)
+        for i in range(20):
+            net.send(0, 1, i)
+        times = []
+        net._receivers[1] = lambda m: times.append((sim.now, m.payload))
+        sim.run()
+        return times
+
+    assert run_once() == run_once()
+
+
+def test_latency_model_validation():
+    with pytest.raises(ValueError):
+        UniformLatency(-1.0, 2.0)
+    with pytest.raises(ValueError):
+        UniformLatency(3.0, 2.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the checkpoint store."""
+
+import pytest
+
+from repro.storage.checkpoint import CheckpointStore
+
+
+def take(store, marker, log_position=0):
+    return store.take(
+        time=float(marker),
+        snapshot={"state": marker},
+        log_position=log_position,
+        extras={"marker": marker},
+    )
+
+
+def test_take_and_latest():
+    store = CheckpointStore()
+    take(store, 1)
+    ckpt = take(store, 2)
+    assert store.latest() is ckpt
+    assert len(store) == 2
+    assert store.taken_count == 2
+
+
+def test_latest_on_empty_raises():
+    with pytest.raises(RuntimeError):
+        CheckpointStore().latest()
+
+
+def test_ids_increase():
+    store = CheckpointStore()
+    ids = [take(store, i).ckpt_id for i in range(3)]
+    assert ids == [0, 1, 2]
+
+
+def test_latest_satisfying_scans_backwards():
+    store = CheckpointStore()
+    for i in range(5):
+        take(store, i)
+    found = store.latest_satisfying(lambda c: c.extras["marker"] <= 2)
+    assert found is not None and found.extras["marker"] == 2
+
+
+def test_latest_satisfying_none():
+    store = CheckpointStore()
+    take(store, 1)
+    assert store.latest_satisfying(lambda c: False) is None
+
+
+def test_discard_after():
+    store = CheckpointStore()
+    ckpts = [take(store, i) for i in range(4)]
+    dropped = store.discard_after(ckpts[1])
+    assert dropped == 2
+    assert store.latest() is ckpts[1]
+    assert store.discarded_count == 2
+
+
+def test_discard_after_unknown_checkpoint():
+    store = CheckpointStore()
+    ckpt = take(store, 1)
+    other = CheckpointStore()
+    take(other, 8)
+    foreign = take(other, 9)     # ckpt_id 1, absent from `store`
+    store.discard_after(ckpt)
+    with pytest.raises(ValueError):
+        store.discard_after(foreign)
+
+
+def test_garbage_collect_before():
+    store = CheckpointStore()
+    ckpts = [take(store, i) for i in range(4)]
+    dropped = store.garbage_collect_before(ckpts[2].ckpt_id)
+    assert dropped == 2
+    assert [c.ckpt_id for c in store] == [2, 3]
+
+
+def test_extras_are_copied_at_take():
+    store = CheckpointStore()
+    extras = {"k": 1}
+    ckpt = store.take(0.0, {}, 0, extras=extras)
+    extras["k"] = 999
+    assert ckpt.extras["k"] == 1

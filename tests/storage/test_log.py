@@ -1,0 +1,128 @@
+"""Unit tests for the volatile/stable message log."""
+
+import pytest
+
+from repro.storage.log import MessageLog
+
+
+def test_append_goes_to_volatile():
+    log = MessageLog()
+    log.append(1, 0, "a")
+    assert log.volatile_length == 1
+    assert log.stable_length == 0
+    assert log.total_length == 1
+
+
+def test_indices_are_receive_order():
+    log = MessageLog()
+    entries = [log.append(i, 0, f"m{i}") for i in range(4)]
+    assert [e.index for e in entries] == [0, 1, 2, 3]
+
+
+def test_flush_moves_volatile_to_stable():
+    log = MessageLog()
+    log.append(1, 0, "a")
+    log.append(2, 0, "b")
+    moved = log.flush()
+    assert moved == 2
+    assert log.stable_length == 2
+    assert log.volatile_length == 0
+
+
+def test_flush_empty_is_noop():
+    log = MessageLog()
+    assert log.flush() == 0
+
+
+def test_flush_callback_receives_count():
+    counts = []
+    log = MessageLog(on_flush=counts.append)
+    log.append(1, 0, "a")
+    log.flush()
+    log.flush()
+    assert counts == [1, 0]
+
+
+def test_crash_loses_only_volatile():
+    log = MessageLog()
+    log.append(1, 0, "stable-soon")
+    log.flush()
+    log.append(2, 0, "volatile")
+    lost = log.on_crash()
+    assert lost == 1
+    assert log.stable_length == 1
+    assert log.volatile_length == 0
+    assert [e.payload for e in log.stable_entries()] == ["stable-soon"]
+
+
+def test_indices_continue_after_crash():
+    log = MessageLog()
+    log.append(1, 0, "a")
+    log.flush()
+    log.append(2, 0, "lost")
+    log.on_crash()
+    entry = log.append(3, 0, "new")
+    # The lost entry's index is recycled: the receive order of the
+    # surviving computation is what matters.
+    assert entry.index == 1
+
+
+def test_stable_entries_from_position():
+    log = MessageLog()
+    for i in range(5):
+        log.append(i, 0, f"m{i}")
+    log.flush()
+    assert [e.payload for e in log.stable_entries(3)] == ["m3", "m4"]
+
+
+def test_truncate_discards_suffix():
+    log = MessageLog()
+    for i in range(5):
+        log.append(i, 0, f"m{i}")
+    log.flush()
+    dropped = log.truncate(2)
+    assert dropped == 3
+    assert log.stable_length == 2
+
+
+def test_truncate_with_volatile_refused():
+    log = MessageLog()
+    log.append(1, 0, "a")
+    with pytest.raises(RuntimeError):
+        log.truncate(0)
+
+
+def test_truncate_bounds_checked():
+    log = MessageLog()
+    log.append(1, 0, "a")
+    log.flush()
+    with pytest.raises(ValueError):
+        log.truncate(5)
+    with pytest.raises(ValueError):
+        log.truncate(-1)
+
+
+def test_entry_lookup_spans_stable_and_volatile():
+    log = MessageLog()
+    log.append(1, 0, "a")
+    log.flush()
+    log.append(2, 0, "b")
+    assert log.entry(0).payload == "a"
+    assert log.entry(1).payload == "b"
+
+
+def test_all_entries_includes_volatile():
+    log = MessageLog()
+    log.append(1, 0, "a")
+    log.flush()
+    log.append(2, 0, "b")
+    assert [e.payload for e in log.all_entries()] == ["a", "b"]
+    assert [e.payload for e in log.all_entries(1)] == ["b"]
+
+
+def test_meta_round_trips():
+    log = MessageLog()
+    log.append(7, 3, "payload", meta={"clock": (1, 2)})
+    log.flush()
+    assert log.stable_entries()[0].meta == {"clock": (1, 2)}
+    assert log.stable_entries()[0].src == 3

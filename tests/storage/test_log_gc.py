@@ -1,0 +1,77 @@
+"""Tests for message-log prefix garbage collection (Remark 2 support)."""
+
+import pytest
+
+from repro.storage.log import MessageLog
+
+
+def make_log(entries=6):
+    log = MessageLog()
+    for i in range(entries):
+        log.append(i, 0, f"m{i}")
+    log.flush()
+    return log
+
+
+def test_discard_prefix_keeps_absolute_indices():
+    log = make_log()
+    dropped = log.discard_prefix(3)
+    assert dropped == 3
+    assert log.stable_length == 6          # absolute end unchanged
+    assert log.retained_stable_entries == 3
+    assert [e.payload for e in log.stable_entries(3)] == ["m3", "m4", "m5"]
+    assert log.entry(4).payload == "m4"
+
+
+def test_discard_prefix_is_idempotent_and_monotone():
+    log = make_log()
+    assert log.discard_prefix(2) == 2
+    assert log.discard_prefix(2) == 0
+    assert log.discard_prefix(1) == 0      # already collected further
+    assert log.discard_prefix(4) == 2
+    assert log.gc_count == 4
+
+
+def test_discard_prefix_clamps_to_stable_length():
+    log = make_log(3)
+    assert log.discard_prefix(100) == 3
+    assert log.retained_stable_entries == 0
+    assert log.stable_length == 3
+
+
+def test_reading_collected_entries_raises():
+    log = make_log()
+    log.discard_prefix(3)
+    with pytest.raises(ValueError, match="garbage-collected"):
+        log.stable_entries(0)
+    with pytest.raises(ValueError, match="garbage-collected"):
+        log.entry(2)
+    with pytest.raises(ValueError, match="garbage-collected"):
+        log.all_entries(1)
+
+
+def test_append_after_gc_continues_indices():
+    log = make_log()
+    log.discard_prefix(4)
+    entry = log.append(99, 1, "new")
+    assert entry.index == 6
+    log.flush()
+    assert log.entry(6).payload == "new"
+
+
+def test_truncate_interacts_with_gc_offset():
+    log = make_log()
+    log.discard_prefix(2)
+    dropped = log.truncate(4)               # keep absolute [2, 4)
+    assert dropped == 2
+    assert [e.payload for e in log.stable_entries(2)] == ["m2", "m3"]
+    with pytest.raises(ValueError):
+        log.truncate(1)                     # below the GC offset
+
+
+def test_total_length_counts_collected_prefix():
+    log = make_log(4)
+    log.append(9, 0, "volatile")
+    log.discard_prefix(2)
+    assert log.total_length == 5
+    assert log.volatile_length == 1

@@ -46,6 +46,7 @@ from repro.core import (
     RecoveryToken,
 )
 from repro.harness import ExperimentResult, ExperimentSpec, run_experiment
+from repro.obs import NullTracer, Tracer
 from repro.protocols import BaseRecoveryProcess, ProtocolConfig, ProtocolStats
 from repro.sim import (
     Application,
@@ -80,9 +81,11 @@ __all__ = [
     "PartitionPlan",
     "ProcessContext",
     "ProcessHost",
+    "NullTracer",
     "ProtocolConfig",
     "ProtocolStats",
     "RecordKind",
+    "Tracer",
     "RecoveryToken",
     "SimTrace",
     "Simulator",

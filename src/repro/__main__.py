@@ -6,7 +6,10 @@ Subcommands:
                   oracle-checked, with an optional timeline dump;
 - ``table1``   -- regenerate the paper's Table 1;
 - ``figures``  -- verify the Figure 1 / Figure 5 scenarios;
-- ``overhead`` -- print the Section 6.9 overhead report for a run.
+- ``overhead`` -- print the Section 6.9 overhead report for a run;
+- ``trace``    -- run a named scenario fully instrumented, write a
+                  JSON-lines trace and print the metrics summary;
+- ``bench``    -- benchmark a named scenario and emit ``BENCH_obs.json``.
 
 Examples::
 
@@ -14,6 +17,8 @@ Examples::
     python -m repro run --protocol strom-yemini --crash 20:1 --timeline
     python -m repro table1 --seeds 0 1 2
     python -m repro figures
+    python -m repro trace quickstart
+    python -m repro bench crash-storm --repeats 5
 """
 
 from __future__ import annotations
@@ -62,6 +67,13 @@ WORKLOADS = {
     "pipeline": lambda n: PipelineApp(jobs=10),
     "pingpong": lambda n: PingPongApp(rounds=50),
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _parse_crashes(specs: list[str]) -> CrashPlan | None:
@@ -161,6 +173,60 @@ def cmd_figures(_args: argparse.Namespace) -> int:
     return 0 if ok1 and ok5 else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a named scenario instrumented; dump JSONL + metrics summary."""
+    from time import perf_counter
+
+    from repro.harness.reporting import render_metrics_report
+    from repro.obs import MetricsReport, Tracer, build_scenario, write_jsonl
+
+    spec = build_scenario(args.scenario, args.seed)
+    tracer = Tracer()
+    spec.tracer = tracer
+    start = perf_counter()
+    result = run_experiment(spec)
+    wall = perf_counter() - start
+
+    out_path = args.out or f"trace_{args.scenario}.jsonl"
+    lines = write_jsonl(
+        tracer,
+        out_path,
+        meta={
+            "scenario": args.scenario,
+            "n": spec.n,
+            "seed": spec.seed,
+            "horizon": spec.horizon,
+            "trace_signature": result.trace.signature(),
+        },
+    )
+    report = MetricsReport.from_run(result, tracer, wall_time_s=wall)
+    print(f"scenario : {args.scenario}")
+    print(f"trace    : {out_path} ({lines} lines)")
+    print()
+    print(render_metrics_report(report))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark a named scenario; emit the BENCH_obs.json trajectory."""
+    from repro.obs import run_bench, write_bench_json
+
+    bench = run_bench(args.scenario, seed=args.seed, repeats=args.repeats)
+    path = write_bench_json(bench, args.out)
+    print(f"scenario              : {bench.scenario}  "
+          f"(n={bench.n}, seed={bench.seed}, repeats={bench.repeats})")
+    print(f"wall time (best)      : {bench.wall_time_s:.4f} s")
+    print(f"events/sec            : {bench.events_per_sec:,.0f}")
+    print(f"delivered             : {bench.delivered}")
+    print(f"peak history records  : {bench.peak_history_records}")
+    print(f"piggyback bytes total : {bench.piggyback_bytes_total:.0f}")
+    print(f"piggyback bytes/msg   : {bench.piggyback_bytes_per_message:.1f}")
+    print(f"tokens broadcast      : {bench.tokens_broadcast:.0f}")
+    print(f"rollbacks / restarts  : {bench.rollbacks} / {bench.restarts}")
+    print(f"written               : {path}")
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         n=args.n,
@@ -219,6 +285,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="verify Figures 1 and 5")
     figures.set_defaults(func=cmd_figures)
+
+    from repro.obs.scenarios import SCENARIOS
+
+    trace = sub.add_parser(
+        "trace",
+        help="instrumented run: JSON-lines trace + metrics summary",
+    )
+    trace.add_argument("scenario", choices=sorted(SCENARIOS))
+    trace.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's default seed")
+    trace.add_argument("--out", default=None,
+                       metavar="PATH",
+                       help="trace output path (default trace_<scenario>.jsonl)")
+    trace.set_defaults(func=cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark a scenario and emit BENCH_obs.json",
+    )
+    bench.add_argument("scenario", nargs="?", default="quickstart",
+                       choices=sorted(SCENARIOS))
+    bench.add_argument("--seed", type=int, default=None)
+    bench.add_argument("--repeats", type=_positive_int, default=3)
+    bench.add_argument("--out", default="BENCH_obs.json", metavar="PATH")
+    bench.set_defaults(func=cmd_bench)
 
     overhead = sub.add_parser("overhead",
                               help="Section 6.9 overhead report")

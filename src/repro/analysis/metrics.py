@@ -59,6 +59,25 @@ class OverheadReport:
     def history_within_bound(self) -> bool:
         return self.history_records_max <= self.history_bound
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form, fields plus the derived ratios.
+
+        Consumed by the observability exporters (``BENCH_obs.json`` and
+        the metrics report of ``python -m repro trace``).
+        """
+        from dataclasses import asdict
+
+        out = asdict(self)
+        out["piggyback_entries_per_message"] = (
+            self.piggyback_entries_per_message
+        )
+        out["piggyback_bits_per_message"] = self.piggyback_bits_per_message
+        out["control_messages_per_failure"] = (
+            self.control_messages_per_failure
+        )
+        out["history_within_bound"] = self.history_within_bound
+        return out
+
 
 def measure_overhead(result: ExperimentResult) -> OverheadReport:
     """Extract the Section 6.9 overhead quantities from ``result``."""

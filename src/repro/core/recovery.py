@@ -167,11 +167,12 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 ckpt_uid=ckpt.snapshot["uid"],
                 reason="restart",
             )
-        self._restore_checkpoint(ckpt)
-        replayed = 0
-        for entry in self.storage.log.stable_entries(ckpt.log_position):
-            self._replay_entry(entry)
-            replayed += 1
+        with self.obs.span("dg.restart_replay_wall_s"):
+            self._restore_checkpoint(ckpt)
+            replayed = 0
+            for entry in self.storage.log.stable_entries(ckpt.log_position):
+                self._replay_entry(entry)
+                replayed += 1
         failed_version = self.clock[self.pid].version
         restored_ts = self.clock[self.pid].timestamp
         token = RecoveryToken(
@@ -184,6 +185,15 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self.host.broadcast(token, kind="token")
         self.stats.tokens_sent += self.n - 1
         self.stats.control_sent += self.n - 1
+        self.obs.counter("dg.tokens_broadcast", self.n - 1)
+        self.obs.counter("dg.restarts")
+        if self.obs.enabled:
+            self.obs.event(
+                "dg.restart",
+                pid=self.pid,
+                failed_version=failed_version,
+                replayed=replayed,
+            )
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,
@@ -217,6 +227,22 @@ class DamaniGargProcess(BaseRecoveryProcess):
         # if the restored suffix is an orphan of some other failure).
         for logged in self.storage.tokens:
             self._apply_token(logged)
+        self._sample_obs_gauges()
+
+    def _sample_obs_gauges(self) -> None:
+        """Per-process gauge samples (history memory, postponed queue).
+
+        ``history.size()`` is the live O(n·f) quantity of Section 6.9;
+        sampling it at every history mutation gives the obs layer its
+        trajectory and peak.  Guarded: the size computation is not free.
+        """
+        if self.obs.enabled:
+            self.obs.gauge(
+                f"dg.history_records.p{self.pid}", self.history.size()
+            )
+            self.obs.gauge(
+                f"dg.postponed_depth.p{self.pid}", len(self._held)
+            )
 
     # ------------------------------------------------------------------
     # Receive message (Section 6.1)
@@ -225,6 +251,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         envelope: AppEnvelope = msg.payload
         if self.history.is_obsolete(envelope.clock):
             self.stats.app_discarded += 1
+            self.obs.counter("dg.obsolete_discarded")
             if self.trace is not None:
                 self.trace.record(
                     self.sim.now,
@@ -238,6 +265,11 @@ class DamaniGargProcess(BaseRecoveryProcess):
         if missing:
             self._held.append(msg)
             self.stats.app_postponed += 1
+            self.obs.counter("dg.postponed")
+            if self.obs.enabled:
+                self.obs.gauge(
+                    f"dg.postponed_depth.p{self.pid}", len(self._held)
+                )
             if self.trace is not None:
                 self.trace.record(
                     self.sim.now,
@@ -252,6 +284,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             and envelope.dedup_id in self._delivered_ids
         ):
             self.stats.duplicates_discarded += 1
+            self.obs.counter("dg.duplicates_discarded")
             if self.trace is not None:
                 self.trace.record(
                     self.sim.now,
@@ -269,6 +302,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self.clock = self.clock.merge(envelope.clock).tick(self.pid)
         self._delivered_ids.add(envelope.dedup_id)
         self.stats.app_delivered += 1
+        self._sample_obs_gauges()
         ctx = self.executor.execute(envelope.payload, msg_id=msg.msg_id)
         self.clock_by_uid[self.executor.current_uid] = self.clock
         # Log after execution so the entry can carry the uid of the state it
@@ -327,7 +361,9 @@ class DamaniGargProcess(BaseRecoveryProcess):
             sent = self.host.send(dst, envelope, kind="app")
             self.stats.app_sent += 1
             self.stats.piggyback_entries += envelope.clock.piggyback_entries()
-            self.stats.piggyback_bits += envelope.clock.wire_size_bits()
+            bits = envelope.clock.wire_size_bits()
+            self.stats.piggyback_bits += bits
+            self.obs.counter("dg.piggyback_bytes", bits / 8.0)
             if self.trace is not None:
                 self.trace.record(
                     self.sim.now,
@@ -347,6 +383,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self.stats.tokens_received += 1
         self.storage.log_token(token)   # synchronous write, before acting
         self.stats.sync_log_writes += 1
+        self.obs.counter("dg.tokens_received")
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,
@@ -363,8 +400,10 @@ class DamaniGargProcess(BaseRecoveryProcess):
         """Orphan test, optional rollback, then install the token record."""
         leftovers: list = []
         if self.history.orphaned_by(token):
+            self.obs.counter("dg.orphans_detected")
             leftovers = self._rollback(token)
         self.history.observe_token(token)
+        self._sample_obs_gauges()
         if (
             self.config.retransmit_on_token
             and token.full_clock is not None
@@ -399,6 +438,10 @@ class DamaniGargProcess(BaseRecoveryProcess):
         held, self._held = self._held, []
         for msg in held:
             self._receive_app(msg)
+        if self.obs.enabled:
+            self.obs.gauge(
+                f"dg.postponed_depth.p{self.pid}", len(self._held)
+            )
 
     # ------------------------------------------------------------------
     # Rollback (Section 6.4)
@@ -432,17 +475,21 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 ckpt_uid=ckpt.snapshot["uid"],
                 reason="rollback",
             )
-        self._restore_checkpoint(ckpt)
-        self.storage.checkpoints.discard_after(ckpt)
-        position = ckpt.log_position
-        replayed = 0
-        for entry in self.storage.log.stable_entries(position):
-            clock, _, _ = entry.meta
-            e = clock[token.origin]
-            if e.version == token.version and e.timestamp > token.timestamp:
-                break   # first orphan message: stop before it
-            self._replay_entry(entry)
-            replayed += 1
+        with self.obs.span("dg.rollback_wall_s"):
+            self._restore_checkpoint(ckpt)
+            self.storage.checkpoints.discard_after(ckpt)
+            position = ckpt.log_position
+            replayed = 0
+            for entry in self.storage.log.stable_entries(position):
+                clock, _, _ = entry.meta
+                e = clock[token.origin]
+                if (
+                    e.version == token.version
+                    and e.timestamp > token.timestamp
+                ):
+                    break   # first orphan message: stop before it
+                self._replay_entry(entry)
+                replayed += 1
         leftovers = list(self.storage.log.stable_entries(position + replayed))
         discarded = self.storage.log.truncate(position + replayed)
         if self.clock[self.pid].version == own_before.version:
@@ -469,6 +516,17 @@ class DamaniGargProcess(BaseRecoveryProcess):
         for logged in self.storage.tokens:
             self.history.observe_token(logged)
         self.stats.note_rollback(token.origin, token.version)
+        self.obs.counter("dg.rollbacks")
+        if self.obs.enabled:
+            self.obs.event(
+                "dg.rollback",
+                pid=self.pid,
+                origin=token.origin,
+                version=token.version,
+                replayed=replayed,
+                discarded=discarded,
+            )
+        self._sample_obs_gauges()
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,
@@ -536,9 +594,10 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 self.stats.piggyback_entries += (
                     entry.envelope.clock.piggyback_entries()
                 )
-                self.stats.piggyback_bits += (
-                    entry.envelope.clock.wire_size_bits()
-                )
+                bits = entry.envelope.clock.wire_size_bits()
+                self.stats.piggyback_bits += bits
+                self.obs.counter("dg.retransmitted")
+                self.obs.counter("dg.piggyback_bytes", bits / 8.0)
                 if self.trace is not None:
                     self.trace.record(
                         self.sim.now,

@@ -1,10 +1,17 @@
-"""ASCII rendering of experiment results, matching the paper's tables."""
+"""ASCII rendering of experiment results, matching the paper's tables.
+
+Also renders the observability layer's end-of-run
+:class:`~repro.obs.export.MetricsReport` (``python -m repro trace``).
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.harness.comparison import ComparisonRow
+
+if TYPE_CHECKING:
+    from repro.obs.export import MetricsReport
 
 
 def format_table(
@@ -60,6 +67,101 @@ def render_table1(rows: list[ComparisonRow]) -> str:
             ]
         )
     return format_table(headers, body)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_metrics_report(report: "MetricsReport") -> str:
+    """Human-readable summary of an instrumented run.
+
+    Counters and gauge peaks side by side, wall-time histograms, and the
+    Section 6.9 overhead cross-check when available.
+    """
+    sections: list[str] = []
+    extra = report.extra
+    head = [
+        ("processes", extra.get("n", "?")),
+        ("seed", extra.get("seed", "?")),
+        ("virtual end time", _fmt(extra.get("virtual_end", 0.0))),
+        ("events fired", extra.get("events_fired", "?")),
+        ("obs events recorded", report.event_count),
+    ]
+    if report.wall_time_s is not None:
+        head.append(("wall time (s)", f"{report.wall_time_s:.4f}"))
+        events = extra.get("events_fired")
+        if events and report.wall_time_s > 0:
+            head.append(
+                ("events/sec", f"{events / report.wall_time_s:,.0f}")
+            )
+    sections.append(
+        format_table(["run", "value"], [(k, str(v)) for k, v in head])
+    )
+
+    if report.counters:
+        sections.append(
+            format_table(
+                ["counter", "value"],
+                [(name, _fmt(v)) for name, v in report.counters.items()],
+            )
+        )
+
+    if report.gauges:
+        sections.append(
+            format_table(
+                ["gauge", "last", "max"],
+                [
+                    (name, _fmt(g["last"]), _fmt(g["max"]))
+                    for name, g in report.gauges.items()
+                ],
+            )
+        )
+
+    if report.histograms:
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "max"],
+                [
+                    (
+                        name,
+                        str(h["count"]),
+                        f"{h['mean']:.3g}",
+                        f"{h['max']:.3g}" if h["max"] is not None else "-",
+                    )
+                    for name, h in report.histograms.items()
+                ],
+            )
+        )
+
+    if report.overhead is not None:
+        o = report.overhead
+        sections.append(
+            format_table(
+                ["overhead (Section 6.9)", "value"],
+                [
+                    ("failures", o.failures),
+                    ("app messages", o.app_messages),
+                    ("control messages", o.control_messages),
+                    (
+                        "piggyback entries/msg",
+                        f"{o.piggyback_entries_per_message:.1f}",
+                    ),
+                    (
+                        "piggyback bits/msg",
+                        f"{o.piggyback_bits_per_message:.0f}",
+                    ),
+                    (
+                        "history records (max)",
+                        f"{o.history_records_max} (bound {o.history_bound})",
+                    ),
+                    ("rollbacks / restarts", f"{o.rollbacks} / {o.restarts}"),
+                ],
+            )
+        )
+    return "\n\n".join(sections)
 
 
 def render_paper_comparison(rows: list[ComparisonRow]) -> str:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.obs.tracer import NULL_TRACER
 from repro.protocols.base import (
     BaseRecoveryProcess,
     ProtocolConfig,
@@ -60,6 +61,10 @@ class ExperimentSpec:
     # Run a StabilityCoordinator sweep at this interval (enables the output
     # commit / GC extensions for protocols that support apply_stability).
     stability_interval: float | None = None
+    # Observability: a repro.obs.Tracer to wire through the whole stack
+    # (kernel, network, hosts, protocols).  None = zero-instrumentation.
+    # Attaching one must not change the run (determinism test pins this).
+    tracer: Any | None = None
 
 
 @dataclass
@@ -105,7 +110,10 @@ class ExperimentResult:
 
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Build the stack described by ``spec``, run it, return the result."""
-    sim = Simulator()
+    sim = Simulator(tracer=spec.tracer)
+    if spec.tracer is not None:
+        # Gauge samples and obs events carry virtual timestamps.
+        spec.tracer.bind_clock(lambda: sim.now)
     streams = RandomStreams(spec.seed)
     trace = SimTrace()
     network = Network(
@@ -136,7 +144,9 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     injector.install(spec.crashes, spec.partitions)
     for host in hosts:
         host.start()
-    sim.run(until=spec.horizon)
+    obs = spec.tracer if spec.tracer is not None else NULL_TRACER
+    with obs.span("run.horizon_wall_s"):
+        sim.run(until=spec.horizon)
     if spec.drain:
         # Stop checkpoint/flush heartbeats so the run can quiesce, then let
         # in-flight application and recovery traffic finish.
@@ -144,7 +154,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
             protocol.halt_periodic_tasks()
         if coordinator is not None:
             coordinator.stop()
-        sim.drain(limit=spec.drain_limit)
+        with obs.span("run.drain_wall_s"):
+            sim.drain(limit=spec.drain_limit)
         if coordinator is not None:
             # One final sweep so outputs stranded by the cutoff commit.
             coordinator.sweep_now()

@@ -1,0 +1,149 @@
+"""Benchmark wrapper: one instrumented run -> ``BENCH_obs.json``.
+
+The ROADMAP's perf trajectory needs a machine-readable number per PR; this
+module produces it.  :func:`run_bench` executes a named scenario (see
+:mod:`repro.obs.scenarios`) with a live tracer and wall-clock timing, and
+:func:`write_bench_json` serialises the headline quantities -- wall time,
+events/second, peak history records, piggyback bytes -- into a flat JSON
+file that successive PRs can diff.
+
+Schema (``BENCH_obs.json``)::
+
+    {
+      "format": "repro-bench-v1",
+      "scenario": "quickstart",
+      "n": 4, "seed": 7,
+      "repeats": 3,
+      "wall_time_s": ...,            # best (min) of the repeats
+      "wall_time_s_all": [...],
+      "events_fired": ...,
+      "events_per_sec": ...,         # events_fired / best wall time
+      "delivered": ...,
+      "peak_history_records": ...,   # the O(n·f) quantity, live-sampled
+      "piggyback_bytes_total": ...,
+      "piggyback_bytes_per_message": ...,
+      "tokens_broadcast": ...,
+      "rollbacks": ..., "restarts": ...,
+      "trace_signature": "...",      # determinism cross-check
+      "overhead": { ... }            # analysis.metrics.OverheadReport
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from repro.obs.scenarios import build_scenario
+from repro.obs.tracer import Tracer
+
+DEFAULT_BENCH_PATH = "BENCH_obs.json"
+
+
+@dataclass
+class BenchResult:
+    """Headline numbers from one benchmarked scenario."""
+
+    scenario: str
+    n: int
+    seed: int
+    repeats: int
+    wall_time_s: float
+    wall_time_s_all: list[float]
+    events_fired: int
+    events_per_sec: float
+    delivered: int
+    peak_history_records: int
+    piggyback_bytes_total: float
+    piggyback_bytes_per_message: float
+    tokens_broadcast: float
+    rollbacks: int
+    restarts: int
+    trace_signature: str
+    overhead: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"format": "repro-bench-v1"}
+        out.update(self.__dict__)
+        return out
+
+
+def run_bench(
+    scenario: str = "quickstart",
+    *,
+    seed: int | None = None,
+    repeats: int = 3,
+) -> BenchResult:
+    """Run ``scenario`` ``repeats`` times instrumented; keep the best time.
+
+    Every repeat must produce the same trace signature (the runs are
+    seeded); a mismatch raises, because a benchmark over nondeterministic
+    runs would be meaningless.
+    """
+    from repro.analysis.metrics import measure_overhead
+    from repro.harness.runner import run_experiment
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    wall_times: list[float] = []
+    signature: str | None = None
+    result = tracer = None
+    for _ in range(repeats):
+        spec = build_scenario(scenario, seed)
+        tracer = Tracer()
+        spec.tracer = tracer
+        start = perf_counter()
+        result = run_experiment(spec)
+        wall_times.append(perf_counter() - start)
+        sig = result.trace.signature()
+        if signature is None:
+            signature = sig
+        elif sig != signature:
+            raise RuntimeError(
+                f"scenario {scenario!r} is nondeterministic across repeats"
+            )
+    assert result is not None and tracer is not None and signature is not None
+    best = min(wall_times)
+    events = result.sim.events_fired
+    overhead = measure_overhead(result)
+    app_sent = result.total("app_sent")
+    piggyback_bytes = tracer.counter_value("dg.piggyback_bytes")
+    return BenchResult(
+        scenario=scenario,
+        n=result.spec.n,
+        seed=result.spec.seed,
+        repeats=repeats,
+        wall_time_s=best,
+        wall_time_s_all=wall_times,
+        events_fired=events,
+        events_per_sec=events / best if best > 0 else 0.0,
+        delivered=result.total_delivered,
+        peak_history_records=int(
+            tracer.max_gauge_over("dg.history_records.")
+        ),
+        piggyback_bytes_total=piggyback_bytes,
+        piggyback_bytes_per_message=(
+            piggyback_bytes / app_sent if app_sent else 0.0
+        ),
+        tokens_broadcast=tracer.counter_value("dg.tokens_broadcast"),
+        rollbacks=result.total_rollbacks,
+        restarts=result.total_restarts,
+        trace_signature=signature,
+        overhead=overhead.to_dict(),
+    )
+
+
+def write_bench_json(
+    bench: BenchResult, path: str = DEFAULT_BENCH_PATH
+) -> str:
+    """Serialise ``bench`` to ``path``; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,153 @@
+"""Exporters: JSON-lines trace files and the end-of-run metrics report.
+
+Two machine-readable artifacts come out of an instrumented run:
+
+- :func:`write_jsonl` -- the full structured trace: one ``meta`` line,
+  then every tracer event, then counter/gauge/histogram aggregates.  Each
+  line is a self-describing JSON object with a ``type`` field, so the file
+  is greppable and streamable (``jq 'select(.type=="event")'``).
+- :class:`MetricsReport` -- the aggregate summary, merging the tracer's
+  live counters with :func:`repro.analysis.metrics.measure_overhead` (the
+  post-hoc Section 6.9 accounting) so the two accountings can be compared
+  line by line.  Rendered for humans by
+  :func:`repro.harness.reporting.render_metrics_report`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.tracer import Tracer
+
+if TYPE_CHECKING:  # avoid a runtime cycle: harness imports obs
+    from repro.harness.runner import ExperimentResult
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce trace payload values to something json.dumps accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def write_jsonl(
+    tracer: Tracer,
+    path: str,
+    *,
+    meta: dict[str, Any] | None = None,
+) -> int:
+    """Write the tracer's full contents to ``path`` as JSON lines.
+
+    Returns the number of lines written.  Layout: one ``meta`` header,
+    ``event`` lines in recording order, then ``counter`` / ``gauge`` /
+    ``histogram`` aggregate lines (gauges include their decimated
+    time-series).
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {"type": "meta", "format": "repro-obs-v1"}
+        if meta:
+            header.update(_jsonable(meta))
+        fh.write(json.dumps(header) + "\n")
+        lines += 1
+        for event in tracer.events:
+            record = {"type": "event"}
+            record.update(_jsonable(event))
+            fh.write(json.dumps(record) + "\n")
+            lines += 1
+        for name, value in sorted(tracer.counters.items()):
+            fh.write(
+                json.dumps({"type": "counter", "name": name, "value": value})
+                + "\n"
+            )
+            lines += 1
+        for name, series in sorted(tracer.gauges.items()):
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "gauge",
+                        "name": name,
+                        "last": series.last,
+                        "max": series.max,
+                        "series": [[t, v] for t, v in series.samples],
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+        for name, hist in sorted(tracer.histograms.items()):
+            record = {"type": "histogram", "name": name}
+            record.update(_jsonable(hist.summary()))
+            fh.write(json.dumps(record) + "\n")
+            lines += 1
+    return lines
+
+
+@dataclass
+class MetricsReport:
+    """End-of-run summary: live tracer aggregates + post-hoc overhead.
+
+    The ``overhead`` block reuses :class:`repro.analysis.metrics
+    .OverheadReport` as a consumer of the same run, which doubles as a
+    cross-check: the live counters and the trace-derived accounting must
+    agree (a test pins the equality).
+    """
+
+    counters: dict[str, float]
+    gauges: dict[str, dict[str, float]]
+    histograms: dict[str, dict[str, Any]]
+    event_count: int
+    overhead: Any = None                  # OverheadReport | None
+    wall_time_s: float | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_run(
+        cls,
+        result: "ExperimentResult",
+        tracer: Tracer,
+        *,
+        wall_time_s: float | None = None,
+    ) -> "MetricsReport":
+        from repro.analysis.metrics import measure_overhead
+
+        snap = tracer.snapshot()
+        return cls(
+            counters=snap["counters"],
+            gauges=snap["gauges"],
+            histograms=snap["histograms"],
+            event_count=snap["events"],
+            overhead=measure_overhead(result),
+            wall_time_s=wall_time_s,
+            extra={
+                "n": result.spec.n,
+                "seed": result.spec.seed,
+                "virtual_horizon": result.spec.horizon,
+                "virtual_end": result.sim.now,
+                "events_fired": result.sim.events_fired,
+                "trace_signature": result.trace.signature(),
+            },
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
+            "event_count": self.event_count,
+            "wall_time_s": self.wall_time_s,
+        }
+        out.update(self.extra)
+        if self.overhead is not None:
+            out["overhead"] = self.overhead.to_dict()
+        return out

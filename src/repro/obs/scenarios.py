@@ -1,0 +1,118 @@
+"""Named reference scenarios for the ``trace`` and ``bench`` CLI commands.
+
+Each scenario is a zero-argument-friendly builder returning a fresh
+:class:`~repro.harness.runner.ExperimentSpec`; the CLI (and the benchmark
+wrapper) attach a tracer and run it.  They are deliberately small, seeded
+and deterministic so PR-over-PR numbers from ``BENCH_obs.json`` are
+comparable.
+
+- ``quickstart``    -- the README quickstart run: 4 processes, one crash;
+- ``failure-free``  -- same workload, no failures (the paper's "zero
+  control messages when failure-free" regime);
+- ``crash-storm``   -- 6 processes, repeated and concurrent crashes;
+- ``partition``     -- a crash inside a network partition;
+- ``scale``         -- 16 processes, two crashes, the heaviest of the set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps import RandomRoutingApp
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.runner import ExperimentSpec
+from repro.protocols.base import ProtocolConfig
+from repro.sim.failures import CrashPlan, PartitionPlan
+
+
+def _config() -> ProtocolConfig:
+    return ProtocolConfig(checkpoint_interval=8.0, flush_interval=2.5)
+
+
+def quickstart(seed: int = 7) -> ExperimentSpec:
+    return ExperimentSpec(
+        n=4,
+        app=RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3),
+        protocol=DamaniGargProcess,
+        crashes=CrashPlan().crash(time=20.0, pid=1, downtime=2.0),
+        horizon=100.0,
+        seed=seed,
+        config=_config(),
+    )
+
+
+def failure_free(seed: int = 7) -> ExperimentSpec:
+    return ExperimentSpec(
+        n=4,
+        app=RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3),
+        protocol=DamaniGargProcess,
+        crashes=None,
+        horizon=100.0,
+        seed=seed,
+        config=_config(),
+    )
+
+
+def crash_storm(seed: int = 3) -> ExperimentSpec:
+    return ExperimentSpec(
+        n=6,
+        app=RandomRoutingApp(hops=60, seeds=(0, 1, 2), initial_items=3),
+        protocol=DamaniGargProcess,
+        crashes=(
+            CrashPlan()
+            .crash(15.0, 1, 2.0)
+            .crash(15.5, 4, 3.0)     # concurrent with pid 1's outage
+            .crash(40.0, 2, 2.0)
+            .crash(60.0, 1, 2.0)     # second failure of the same process
+        ),
+        horizon=100.0,
+        seed=seed,
+        config=_config(),
+    )
+
+
+def partition(seed: int = 5) -> ExperimentSpec:
+    return ExperimentSpec(
+        n=4,
+        app=RandomRoutingApp(hops=50, seeds=(0, 1), initial_items=3),
+        protocol=DamaniGargProcess,
+        crashes=CrashPlan().crash(25.0, 2, 2.0),
+        partitions=PartitionPlan().partition(
+            20.0, [(0, 1), (2, 3)], heal_time=35.0
+        ),
+        horizon=100.0,
+        seed=seed,
+        config=_config(),
+    )
+
+
+def scale(seed: int = 3) -> ExperimentSpec:
+    return ExperimentSpec(
+        n=16,
+        app=RandomRoutingApp(hops=60, seeds=tuple(range(4)), initial_items=2),
+        protocol=DamaniGargProcess,
+        crashes=CrashPlan().crash(20.0, 5, 2.0).crash(45.0, 11, 2.0),
+        horizon=100.0,
+        seed=seed,
+        config=_config(),
+    )
+
+
+SCENARIOS: dict[str, Callable[..., ExperimentSpec]] = {
+    "quickstart": quickstart,
+    "failure-free": failure_free,
+    "crash-storm": crash_storm,
+    "partition": partition,
+    "scale": scale,
+}
+
+
+def build_scenario(name: str, seed: int | None = None) -> ExperimentSpec:
+    """Instantiate a named scenario, optionally overriding its seed."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return builder(seed) if seed is not None else builder()

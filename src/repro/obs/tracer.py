@@ -1,0 +1,292 @@
+"""Structured run-wide observability primitives.
+
+The paper's overhead analysis (Section 6.9) makes quantitative claims --
+O(n) piggyback per message, zero control messages when failure-free,
+O(n·f) history memory -- that the rest of this repository previously could
+only reconstruct post-hoc from full traces.  This module provides the live
+counterpart: a :class:`Tracer` every layer of the stack (kernel, network,
+process host, protocol) reports into while a run executes.
+
+Design constraints, in order:
+
+1. **Determinism is sacred.**  A tracer never schedules simulator events,
+   never draws from the seeded RNG streams, and never feeds a value back
+   into protocol logic.  Attaching one must leave a seeded run's ground
+   truth trace byte-identical (there is a test pinning this down).
+2. **Zero cost when off.**  The kernel hot loop guards on ``tracer is
+   None``; everywhere else the :data:`NULL_TRACER` singleton turns calls
+   into cheap no-op method dispatches.  Callers computing *expensive*
+   arguments should guard on :attr:`Tracer.enabled`.
+3. **Bounded memory.**  Gauge time-series are decimated once they exceed a
+   cap (stride doubling), so million-event runs cannot blow up the tracer.
+
+Three primitive families:
+
+- **counters** -- monotonically accumulating floats (``tokens broadcast``);
+- **gauges**   -- last-value + max + a decimated ``(virtual time, value)``
+  series (``queue depth``, ``history records``);
+- **histograms / spans** -- value distributions; :meth:`Tracer.span` times
+  a wall-clock section into a histogram.
+
+Plus free-form **events**: timestamped dicts exported to the JSON-lines
+trace file (partitions, restarts, rollbacks).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Iterator
+
+#: Per-series sample cap before decimation halves the series and doubles
+#: the keep-stride.  4096 points is plenty for plotting a trajectory.
+SERIES_CAP = 4096
+
+#: Histogram bucket upper bounds (seconds-oriented but unit-agnostic);
+#: the last bucket is the +Inf overflow.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+class Histogram:
+    """Fixed-boundary histogram with running count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                (str(b) if i < len(self.bounds) else "+inf"): c
+                for i, (b, c) in enumerate(
+                    zip(self.bounds + (float("inf"),), self.bucket_counts)
+                )
+                if c
+            },
+        }
+
+
+class GaugeSeries:
+    """Last/max tracking plus a decimated ``(t, value)`` trajectory."""
+
+    __slots__ = ("last", "max", "samples", "_stride", "_skip")
+
+    def __init__(self) -> None:
+        self.last: float = 0.0
+        self.max: float = float("-inf")
+        self.samples: list[tuple[float, float]] = []
+        self._stride = 1
+        self._skip = 0
+
+    def set(self, t: float, value: float) -> None:
+        self.last = value
+        if value > self.max:
+            self.max = value
+        self._skip += 1
+        if self._skip < self._stride:
+            return
+        self._skip = 0
+        self.samples.append((t, value))
+        if len(self.samples) > SERIES_CAP:
+            # Keep every other sample, double the stride: bounded memory,
+            # uniformly thinning resolution.
+            del self.samples[1::2]
+            self._stride *= 2
+
+
+class _Span:
+    """Context manager feeding wall-clock duration into a histogram."""
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tracer.observe(self._name, perf_counter() - self._start)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Every tracer method as a no-op; the off switch for instrumentation.
+
+    Layers hold a tracer unconditionally (``self.obs = sim.tracer or
+    NULL_TRACER``) so call sites stay branch-free; when an argument is
+    expensive to compute, guard on :attr:`enabled` first.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "events": 0}
+
+
+#: The shared no-op instance.  Stateless, safe to share globally.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """The live tracer: typed counters, gauges, histograms, spans, events.
+
+    ``now`` supplies the *virtual* timestamp attached to gauge samples and
+    events; :func:`repro.harness.runner.run_experiment` binds it to the
+    simulator clock.  Wall time appears only inside span/histogram values.
+    """
+
+    enabled = True
+
+    def __init__(self, *, now: Callable[[], float] | None = None) -> None:
+        self._now: Callable[[], float] = now if now is not None else (
+            lambda: 0.0
+        )
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, GaugeSeries] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.events: list[dict[str, Any]] = []
+        self.started_wall = perf_counter()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        """Attach the virtual-time source (idempotent, rebindable)."""
+        self._now = now
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        series = self.gauges.get(name)
+        if series is None:
+            series = self.gauges[name] = GaugeSeries()
+        series.set(self._now(), value)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def event(self, name: str, **fields: Any) -> None:
+        record: dict[str, Any] = {"t": self._now(), "name": name}
+        record.update(fields)
+        self.events.append(record)
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def gauge_last(self, name: str, default: float = 0.0) -> float:
+        series = self.gauges.get(name)
+        return series.last if series is not None else default
+
+    def gauge_max(self, name: str, default: float = 0.0) -> float:
+        series = self.gauges.get(name)
+        if series is None or series.max == float("-inf"):
+            return default
+        return series.max
+
+    def gauges_matching(self, prefix: str) -> Iterator[tuple[str, GaugeSeries]]:
+        for name, series in self.gauges.items():
+            if name.startswith(prefix):
+                yield name, series
+
+    def max_gauge_over(self, prefix: str) -> float:
+        """Max of ``gauge_max`` across every gauge sharing ``prefix``."""
+        best = float("-inf")
+        for _, series in self.gauges_matching(prefix):
+            if series.max > best:
+                best = series.max
+        return best if best != float("-inf") else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Aggregate view of everything recorded, JSON-serialisable."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {
+                name: {
+                    "last": series.last,
+                    "max": series.max,
+                    "samples": len(series.samples),
+                }
+                for name, series in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.histograms.items())
+            },
+            "events": len(self.events),
+        }

@@ -20,6 +20,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.kernel import Simulator
 from repro.sim.network import NetworkMessage
 from repro.sim.process import (
@@ -128,6 +129,11 @@ class BaseRecoveryProcess(abc.ABC):
         self.executor = AppExecutor(app, self.pid, self.n, self.sim, self.trace)
         self.storage = StableStorage(self.pid)
         self.stats = ProtocolStats()
+        # Observability sink: the simulator's tracer when one is attached
+        # (the runner attaches it before protocols are built), else the
+        # shared no-op.  Guard expensive metric arguments on
+        # ``self.obs.enabled``.
+        self.obs = self.sim.tracer if self.sim.tracer is not None else NULL_TRACER
         self.outputs: list[tuple[float, Any]] = []   # committed outputs
         host.attach(self)
 
@@ -214,12 +220,14 @@ class BaseRecoveryProcess(abc.ABC):
         """
         self._deliveries_since_checkpoint = 0
         self.flush_log()
-        ckpt = self.storage.checkpoints.take(
-            self.sim.now,
-            self.executor.snapshot(),
-            self.storage.log.stable_length,
-            extras=self.checkpoint_extras(),
-        )
+        with self.obs.span("proto.checkpoint_wall_s"):
+            ckpt = self.storage.checkpoints.take(
+                self.sim.now,
+                self.executor.snapshot(),
+                self.storage.log.stable_length,
+                extras=self.checkpoint_extras(),
+            )
+        self.obs.counter("proto.checkpoints")
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,
@@ -236,6 +244,9 @@ class BaseRecoveryProcess(abc.ABC):
 
     def flush_log(self) -> int:
         moved = self.storage.log.flush()
+        if moved:
+            self.obs.counter("proto.log_flushes")
+            self.obs.counter("proto.log_entries_flushed", moved)
         if moved and self.trace is not None:
             self.trace.record(
                 self.sim.now,

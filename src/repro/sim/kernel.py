@@ -6,15 +6,25 @@ the execution order a total order, so a run is a pure function of the seed
 and the scheduled callbacks -- a property the recovery test-suite relies on
 (same seed => byte-identical trace).
 
-Virtual time is a ``float`` carried by the kernel; nothing in the package
-reads wall-clock time.
+Virtual time is a ``float`` carried by the kernel; no *simulation* decision
+ever reads wall-clock time.  The optional observability tracer (see
+:mod:`repro.obs`) does sample the wall clock, but only to report how fast
+the simulation itself is running -- it never feeds back into event order,
+which is what the determinism tests pin down.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable
+
+#: Relative tolerance for :meth:`Simulator.schedule_at` -- absolute times
+#: recomputed through float arithmetic (``t1 + dt - t1`` style) can land an
+#: ulp below ``now``; deltas within this relative band are clamped to zero
+#: instead of raising a spurious :class:`SimulationError`.
+TIME_EPSILON = 1e-9
 
 
 class SimulationError(Exception):
@@ -65,6 +75,17 @@ class EventHandle:
         self._event.cancelled = True
 
 
+def _label_root(label: str) -> str:
+    """Collapse a per-instance event label to its bounded-cardinality root.
+
+    Labels look like ``deliver#123`` or ``ckpt:2``; the suffix identifies
+    the instance and would explode histogram cardinality.
+    """
+    if not label:
+        return "unlabelled"
+    return label.partition("#")[0].partition(":")[0]
+
+
 class Simulator:
     """The discrete-event kernel.
 
@@ -77,14 +98,20 @@ class Simulator:
     The kernel never advances time on its own; it jumps from event to event.
     ``run`` stops when the queue drains, when ``until`` is passed, or when
     ``max_events`` callbacks have fired.
+
+    An observability tracer (:class:`repro.obs.Tracer`) may be attached via
+    :attr:`tracer`; when present, the run loop reports per-label callback
+    wall times, queue depth and virtual-time progress.  ``tracer = None``
+    (the default) keeps the hot loop entirely instrumentation-free.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer: Any | None = None) -> None:
         self._queue: list[Event] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._fired: int = 0
         self._running: bool = False
+        self.tracer: Any | None = tracer
 
     @property
     def now(self) -> float:
@@ -98,8 +125,18 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events in the queue, including tombstoned ones."""
+        """Number of live (non-cancelled) events in the queue."""
         return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def pending_raw(self) -> int:
+        """Total queue length including cancelled tombstones.
+
+        Tombstoned events occupy heap slots until the run loop pops past
+        them; the observability layer reports both this and :attr:`pending`
+        so tombstone build-up (e.g. timer churn) is visible.
+        """
+        return len(self._queue)
 
     def schedule(
         self,
@@ -135,10 +172,27 @@ class Simulator:
         priority: int = 0,
         label: str = "",
     ) -> EventHandle:
-        """Schedule ``callback`` at absolute virtual time ``time``."""
+        """Schedule ``callback`` at absolute virtual time ``time``.
+
+        ``time`` values recomputed through float arithmetic can fall a
+        rounding error below ``now`` even when they mean "right now"; such
+        deltas (within :data:`TIME_EPSILON`, relative) are clamped to zero
+        rather than rejected.  Genuinely-past times still raise.
+        """
+        delay = time - self._now
+        if delay < 0.0:
+            tolerance = TIME_EPSILON * max(1.0, abs(self._now), abs(time))
+            if delay >= -tolerance:
+                delay = 0.0
         return self.schedule(
-            time - self._now, callback, priority=priority, label=label
+            delay, callback, priority=priority, label=label
         )
+
+    def _next_event_time(self) -> float | None:
+        """Time of the earliest live event, discarding leading tombstones."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
 
     def run(
         self,
@@ -150,16 +204,25 @@ class Simulator:
         ``until`` is inclusive: an event at exactly ``until`` fires.  Events
         scheduled during execution are honoured.  Re-entrant calls are
         rejected -- callbacks must not call :meth:`run`.
+
+        When the loop stops because the queue is exhausted (or holds only
+        events beyond ``until``), time fast-forwards to ``until``.  When it
+        stops because ``max_events`` was reached with work still pending at
+        or before ``until``, time stays at the last fired event -- jumping
+        ahead of unfired events would time-warp the simulation.
         """
         if self._running:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
         fired_this_call = 0
+        tracer = self.tracer
         try:
             while self._queue:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    if tracer is not None:
+                        tracer.counter("sim.tombstones_popped")
                     continue
                 if until is not None and event.time > until:
                     break
@@ -167,13 +230,27 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
-                event.callback()
+                if tracer is None:
+                    event.callback()
+                else:
+                    start = perf_counter()
+                    event.callback()
+                    elapsed = perf_counter() - start
+                    tracer.counter("sim.events_fired")
+                    tracer.observe(
+                        f"sim.event_wall_s.{_label_root(event.label)}",
+                        elapsed,
+                    )
+                    tracer.gauge("sim.queue_depth", len(self._queue))
+                    tracer.gauge("sim.virtual_time", self._now)
                 self._fired += 1
                 fired_this_call += 1
         finally:
             self._running = False
         if until is not None and self._now < until:
-            self._now = until
+            next_time = self._next_event_time()
+            if next_time is None or next_time > until:
+                self._now = until
 
     def drain(self, limit: int = 10_000_000) -> None:
         """Run to quiescence, failing loudly if ``limit`` events fire.

@@ -160,6 +160,9 @@ class Network:
         # Counters for the metrics layer.
         self.sent_count: dict[str, int] = {}
         self.delivered_count: dict[str, int] = {}
+        # Messages scheduled on the wire and not yet handed to a receiver
+        # (excludes partition-held messages), for the obs in-flight gauge.
+        self._in_flight = 0
 
     # ------------------------------------------------------------------
     # Registration and basic sending
@@ -198,8 +201,14 @@ class Network:
             latency_override=latency,
         )
         self.sent_count[kind] = self.sent_count.get(kind, 0) + 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(f"net.sent.{kind}")
         if self._blocked(src, dst):
             self._held.append(msg)
+            if tracer is not None:
+                tracer.counter("net.partition_held")
+                tracer.gauge("net.held_messages", len(self._held))
         else:
             self._schedule_delivery(msg)
             if (
@@ -209,6 +218,8 @@ class Network:
                 < self.duplicate_rate
             ):
                 self.duplicates_injected += 1
+                if tracer is not None:
+                    tracer.counter("net.duplicates_injected")
                 self._schedule_delivery(msg)
         return msg
 
@@ -248,11 +259,22 @@ class Network:
             lambda m=msg: self._deliver(m),
             label=f"deliver#{msg.msg_id}",
         )
+        self._in_flight += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.gauge("net.in_flight", self._in_flight)
 
     def _deliver(self, msg: NetworkMessage) -> None:
+        self._in_flight -= 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.gauge("net.in_flight", self._in_flight)
         if self._blocked(msg.src, msg.dst):
             # A partition was imposed while the message was in flight.
             self._held.append(msg)
+            if tracer is not None:
+                tracer.counter("net.partition_held")
+                tracer.gauge("net.held_messages", len(self._held))
             return
         receiver = self._receivers.get(msg.dst)
         if receiver is None:
@@ -260,6 +282,11 @@ class Network:
         self.delivered_count[msg.kind] = (
             self.delivered_count.get(msg.kind, 0) + 1
         )
+        if tracer is not None:
+            tracer.counter(f"net.delivered.{msg.kind}")
+            tracer.observe(
+                f"net.latency.{msg.kind}", self.sim.now - msg.send_time
+            )
         receiver(msg)
 
     # ------------------------------------------------------------------
@@ -281,6 +308,12 @@ class Network:
         if missing:
             raise ValueError(f"pids {sorted(missing)} missing from partition")
         self._partition = assignment
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter("net.partitions")
+            tracer.event(
+                "net.partition", groups=[sorted(g) for g in groups]
+            )
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,
@@ -295,6 +328,11 @@ class Network:
         held, self._held = self._held, []
         for msg in held:
             self._schedule_delivery(msg)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter("net.heals")
+            tracer.gauge("net.held_messages", 0)
+            tracer.event("net.heal", released=len(held))
         if self.trace is not None:
             self.trace.record(self.sim.now, EventKind.HEAL, -1, released=len(held))
 

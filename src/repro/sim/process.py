@@ -175,6 +175,12 @@ class AppExecutor:
             self.current_uid = (self.pid, self._mint_tag, self._serial)
         if self.record_states:
             self.state_by_uid[self.current_uid] = self.state
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(
+                "app.replayed_transitions" if replay
+                else "app.live_transitions"
+            )
         if self.trace is not None:
             self.trace.record(
                 self.sim.now,
@@ -296,6 +302,10 @@ class ProcessHost:
             return
         self.alive = False
         self.crash_count += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter("host.crashes")
+            tracer.event("host.crash", pid=self.pid, count=self.crash_count)
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, EventKind.CRASH, self.pid, count=self.crash_count
@@ -308,10 +318,18 @@ class ProcessHost:
         if self.alive:
             return
         self.alive = True
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter("host.restarts")
+            tracer.event(
+                "host.restart", pid=self.pid, buffered=len(self._buffered)
+            )
         self.protocol.on_restart()
         buffered, self._buffered = self._buffered, []
         for msg in buffered:
             self.protocol.on_network_message(msg)
+        if tracer is not None:
+            tracer.gauge(f"host.buffered.p{self.pid}", 0)
 
     # ------------------------------------------------------------------
     # Transport plumbing
@@ -319,6 +337,12 @@ class ProcessHost:
     def _on_transport_deliver(self, msg: NetworkMessage) -> None:
         if not self.alive:
             self._buffered.append(msg)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.counter("host.deliveries_buffered")
+                tracer.gauge(
+                    f"host.buffered.p{self.pid}", len(self._buffered)
+                )
             return
         self.protocol.on_network_message(msg)
 

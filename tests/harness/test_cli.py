@@ -61,6 +61,50 @@ def test_overhead_command(capsys):
     assert "failures              : 1" in out
 
 
+def test_trace_command(tmp_path, capsys):
+    out_path = tmp_path / "trace.jsonl"
+    code = main(["trace", "quickstart", "--out", str(out_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "dg.tokens_broadcast" in out
+    assert "overhead (Section 6.9)" in out
+    import json
+
+    records = [
+        json.loads(line) for line in out_path.read_text().splitlines()
+    ]
+    assert records[0]["type"] == "meta"
+    assert any(r["type"] == "counter" for r in records)
+
+
+def test_trace_command_default_output_name(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "failure-free"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "trace_failure-free.jsonl").exists()
+
+
+def test_trace_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["trace", "no-such-scenario"])
+
+
+def test_bench_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_obs.json"
+    code = main(
+        ["bench", "quickstart", "--repeats", "1", "--out", str(out_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "events/sec" in out
+    import json
+
+    data = json.loads(out_path.read_text())
+    assert data["format"] == "repro-bench-v1"
+    assert data["scenario"] == "quickstart"
+    assert data["wall_time_s"] > 0
+
+
 def test_crash_spec_parsing():
     plan = _parse_crashes(["10:1", "20:2:5.0"])
     assert plan is not None

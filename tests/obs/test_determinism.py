@@ -1,0 +1,53 @@
+"""Attaching a tracer must never perturb a seeded run.
+
+Determinism is the substrate's core invariant (same seed => byte-identical
+ground-truth trace); instrumentation that nudged event order would poison
+every oracle.  These tests pin the invariant from three angles.
+"""
+
+from repro.harness.runner import run_experiment
+from repro.obs import NullTracer, Tracer, build_scenario
+
+
+def _signature(scenario: str, tracer=None) -> str:
+    spec = build_scenario(scenario)
+    spec.tracer = tracer
+    return run_experiment(spec).trace.signature()
+
+
+def test_live_tracer_preserves_event_order_quickstart():
+    assert _signature("quickstart") == _signature("quickstart", Tracer())
+
+
+def test_live_tracer_preserves_event_order_under_failures():
+    assert _signature("crash-storm") == _signature("crash-storm", Tracer())
+
+
+def test_live_tracer_preserves_event_order_under_partition():
+    assert _signature("partition") == _signature("partition", Tracer())
+
+
+def test_null_tracer_preserves_event_order():
+    assert _signature("quickstart") == _signature("quickstart", NullTracer())
+
+
+def test_two_instrumented_runs_agree_with_each_other():
+    assert _signature("quickstart", Tracer()) == _signature(
+        "quickstart", Tracer()
+    )
+
+
+def test_instrumented_runs_reproduce_deterministic_metrics():
+    """Counters, gauges and obs events (all virtual-time keyed) must be
+    identical across same-seed runs; only wall-clock histograms may vary."""
+    results = []
+    for _ in range(2):
+        spec = build_scenario("quickstart")
+        tracer = Tracer()
+        spec.tracer = tracer
+        run_experiment(spec)
+        snap = tracer.snapshot()
+        results.append(
+            (snap["counters"], snap["gauges"], tracer.events)
+        )
+    assert results[0] == results[1]

@@ -1,0 +1,133 @@
+"""Unit tests for the tracer primitives (counters/gauges/histograms/spans)."""
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SERIES_CAP,
+    GaugeSeries,
+    Histogram,
+    NullTracer,
+    Tracer,
+)
+
+
+def test_counter_accumulates():
+    t = Tracer()
+    t.counter("x")
+    t.counter("x")
+    t.counter("x", 2.5)
+    assert t.counter_value("x") == 4.5
+    assert t.counter_value("missing") == 0.0
+    assert t.counter_value("missing", default=-1.0) == -1.0
+
+
+def test_gauge_tracks_last_and_max():
+    t = Tracer()
+    t.gauge("depth", 3)
+    t.gauge("depth", 10)
+    t.gauge("depth", 1)
+    assert t.gauge_last("depth") == 1
+    assert t.gauge_max("depth") == 10
+    assert t.gauge_last("missing") == 0.0
+    assert t.gauge_max("missing") == 0.0
+
+
+def test_gauge_samples_carry_bound_clock_time():
+    clock = {"t": 0.0}
+    t = Tracer(now=lambda: clock["t"])
+    t.gauge("g", 1)
+    clock["t"] = 5.0
+    t.gauge("g", 2)
+    assert t.gauges["g"].samples == [(0.0, 1), (5.0, 2)]
+
+
+def test_gauge_series_decimates_beyond_cap():
+    series = GaugeSeries()
+    total = SERIES_CAP * 4
+    for i in range(total):
+        series.set(float(i), float(i))
+    assert len(series.samples) <= SERIES_CAP
+    assert series.max == total - 1
+    assert series.last == total - 1
+    # Decimation keeps a uniform subsample: still spans the full range.
+    assert series.samples[0][0] < total / 4
+    assert series.samples[-1][0] > total * 3 / 4
+
+
+def test_max_gauge_over_prefix():
+    t = Tracer()
+    t.gauge("h.p0", 3)
+    t.gauge("h.p1", 9)
+    t.gauge("other", 100)
+    assert t.max_gauge_over("h.") == 9
+    assert t.max_gauge_over("nope.") == 0.0
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram()
+    for v in (1e-7, 5e-4, 0.3, 2.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.min == 1e-7
+    assert h.max == 2.0
+    assert h.mean == pytest.approx((1e-7 + 5e-4 + 0.3 + 2.0) / 4)
+    summary = h.summary()
+    assert summary["count"] == 4
+    assert sum(summary["buckets"].values()) == 4
+
+
+def test_histogram_overflow_bucket():
+    h = Histogram()
+    h.observe(1e9)
+    assert h.summary()["buckets"] == {"+inf": 1}
+
+
+def test_span_observes_wall_time():
+    t = Tracer()
+    with t.span("work"):
+        sum(range(1000))
+    hist = t.histograms["work"]
+    assert hist.count == 1
+    assert hist.total >= 0.0
+
+
+def test_events_carry_virtual_time_and_fields():
+    clock = {"t": 7.5}
+    t = Tracer(now=lambda: clock["t"])
+    t.event("boom", pid=3, why="test")
+    assert t.events == [{"t": 7.5, "name": "boom", "pid": 3, "why": "test"}]
+
+
+def test_snapshot_shape():
+    t = Tracer()
+    t.counter("c", 2)
+    t.gauge("g", 5)
+    t.observe("h", 0.1)
+    t.event("e")
+    snap = t.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"]["g"]["last"] == 5
+    assert snap["gauges"]["g"]["max"] == 5
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["events"] == 1
+
+
+def test_null_tracer_is_inert():
+    n = NullTracer()
+    assert not n.enabled
+    n.counter("x")
+    n.gauge("y", 1)
+    n.observe("z", 1)
+    n.event("e", a=1)
+    n.bind_clock(lambda: 1.0)
+    with n.span("s"):
+        pass
+    assert n.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}, "events": 0
+    }
+    assert NULL_TRACER.enabled is False
+
+
+def test_tracer_enabled_flag():
+    assert Tracer().enabled is True

@@ -181,3 +181,72 @@ def test_pending_ignores_cancelled():
     assert sim.pending == 2
     h1.cancel()
     assert sim.pending == 1
+
+
+def test_pending_raw_counts_tombstones():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.pending == 1
+    assert sim.pending_raw == 2
+    sim.run()
+    assert sim.pending == 0
+    assert sim.pending_raw == 0
+
+
+def test_max_events_with_until_does_not_time_warp():
+    """Regression: stopping on max_events with work still pending before
+    ``until`` must not fast-forward the clock past the unfired events."""
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(until=50.0, max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 2.0          # not 50.0
+    sim.run(until=50.0)
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 50.0         # queue exhausted: fast-forward is fine
+
+
+def test_max_events_with_until_fast_forwards_when_remaining_beyond_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(99.0, lambda: fired.append("late"))
+    sim.run(until=10.0, max_events=5)
+    assert fired == ["a"]
+    assert sim.now == 10.0         # only event left is past until
+
+
+def test_max_events_with_until_ignores_cancelled_leftovers():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    handle = sim.schedule(2.0, lambda: fired.append("dead"))
+    handle.cancel()
+    sim.run(until=10.0, max_events=1)
+    assert fired == ["a"]
+    assert sim.now == 10.0         # tombstone does not hold the clock back
+
+
+def test_schedule_at_clamps_float_rounding_to_now():
+    """Regression: ``schedule_at(t)`` where ``t`` equals ``now`` up to float
+    rounding (e.g. 0.1 + 0.2 vs 0.3) must not raise SimulationError."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, lambda: sim.schedule(0.2, lambda: None))
+    sim.run()
+    assert sim.now == 0.1 + 0.2 and sim.now != 0.3  # the classic ulp gap
+    sim.schedule_at(0.3, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [sim.now]
+
+
+def test_schedule_at_still_rejects_genuinely_past_times():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.9, lambda: None)

@@ -9,7 +9,10 @@ Subcommands:
 - ``overhead`` -- print the Section 6.9 overhead report for a run;
 - ``trace``    -- run a named scenario fully instrumented, write a
                   JSON-lines trace and print the metrics summary;
-- ``bench``    -- benchmark a named scenario and emit ``BENCH_obs.json``.
+- ``bench``    -- benchmark a named scenario and emit ``BENCH_obs.json``;
+- ``stress``   -- randomized fault-injection sweep: thousands of seeded
+                  schedules, every run graded by the invariant oracles,
+                  failures shrunk to replayable JSON reproducers.
 
 Examples::
 
@@ -19,6 +22,8 @@ Examples::
     python -m repro figures
     python -m repro trace quickstart
     python -m repro bench crash-storm --repeats 5
+    python -m repro stress --schedules 500 --seed 0
+    python -m repro stress --replay stress-repro-seed55.json
 """
 
 from __future__ import annotations
@@ -227,6 +232,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stress(args: argparse.Namespace) -> int:
+    """Randomized fault-injection sweep (or replay of one reproducer)."""
+    from pathlib import Path
+
+    from repro.stress import PROFILES, load_reproducer, run_case, sweep
+
+    profile = PROFILES[args.profile]
+
+    if args.replay is not None:
+        case, payload = load_reproducer(Path(args.replay))
+        print(f"replaying {args.replay}: {case.describe()}")
+        result = run_case(
+            case, theorem_max_states=profile.theorem_max_states
+        )
+        if result.failed:
+            print(f"still failing: {result.headline()}")
+            for violation in result.violations:
+                print(f"  - {violation}")
+            return 1
+        recorded = payload.get("violations") or [payload.get("error")]
+        print(f"now passing (previously: {recorded[0]})")
+        return 0
+
+    out_dir = Path(args.out_dir) if args.out_dir else None
+
+    def progress(index: int, result) -> None:
+        if result.failed:
+            print(f"  seed {result.case.seed}: {result.headline()}")
+        elif (index + 1) % 100 == 0:
+            print(f"  ... {index + 1}/{args.schedules} schedules")
+
+    report = sweep(
+        args.schedules,
+        base_seed=args.seed,
+        profile=profile,
+        shrink=not args.no_shrink,
+        fail_fast=args.fail_fast,
+        out_dir=out_dir,
+        run=run_case,
+        progress=progress if not args.quiet else None,
+    )
+    print(report.summary())
+    for path in report.reproducers:
+        print(f"  wrote {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         n=args.n,
@@ -310,6 +362,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=_positive_int, default=3)
     bench.add_argument("--out", default="BENCH_obs.json", metavar="PATH")
     bench.set_defaults(func=cmd_bench)
+
+    from repro.stress.profiles import PROFILES as STRESS_PROFILES
+
+    stress = sub.add_parser(
+        "stress",
+        help="randomized fault-injection sweep with invariant oracles",
+    )
+    stress.add_argument("--schedules", type=_positive_int, default=500,
+                        help="number of generated schedules (default 500)")
+    stress.add_argument("--seed", type=int, default=0,
+                        help="base seed; schedule i uses seed+i")
+    stress.add_argument("--profile", choices=sorted(STRESS_PROFILES),
+                        default="default")
+    stress.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="directory for JSON reproducers of failures")
+    stress.add_argument("--no-shrink", action="store_true",
+                        help="skip minimising failing cases")
+    stress.add_argument("--fail-fast", action="store_true",
+                        help="stop at the first failing schedule")
+    stress.add_argument("--quiet", action="store_true",
+                        help="no per-schedule progress output")
+    stress.add_argument("--replay", default=None, metavar="JSON",
+                        help="replay one reproducer file instead of sweeping")
+    stress.set_defaults(func=cmd_stress)
 
     overhead = sub.add_parser("overhead",
                               help="Section 6.9 overhead report")

@@ -34,8 +34,11 @@ Extensions from Section 6.5 are opt-in via
 - ``retransmit_on_token`` -- Remark 1: the token carries the full clock and
   peers retransmit logged sends concurrent with the restored state, so
   messages received-but-unlogged at the failure are not lost forever.
-  Retransmission implies duplicate suppression, done with per-message
-  dedup ids.
+
+Per-message dedup ids give every process duplicate suppression
+unconditionally (exactly-once delivery on an at-least-once transport);
+``retransmit_on_token`` only controls whether the send history needed for
+retransmission is kept.
 """
 
 from __future__ import annotations
@@ -43,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.ftvc import FaultTolerantVectorClock
+from repro.core.ftvc import ClockEntry, FaultTolerantVectorClock
 from repro.core.history import History
 from repro.core.tokens import RecoveryToken
 from repro.protocols.base import BaseRecoveryProcess, ProtocolConfig
@@ -173,6 +176,25 @@ class DamaniGargProcess(BaseRecoveryProcess):
             for entry in self.storage.log.stable_entries(ckpt.log_position):
                 self._replay_entry(entry)
                 replayed += 1
+        # The restored checkpoint can predate the incarnation that just
+        # failed (a rollback may have discarded every later checkpoint), in
+        # which case replay reconstructed our own entry in an *older*
+        # version's terms.  The token must condemn the version we actually
+        # ran: adopt the *version* from the durable own-entry frontier,
+        # which every stable write keeps current.  Only the version -- no
+        # state of a later version was reconstructible, so timestamp 0 is
+        # the sound restoration point for it; adopting the frontier's
+        # timestamp within the replayed version would under-condemn states
+        # the rollback truncated out of the stable log.
+        durable_own = self.storage.get("stable_own")
+        if (
+            durable_own is not None
+            and durable_own.version > self.clock[self.pid].version
+        ):
+            entries = list(self.clock.entries)
+            entries[self.pid] = ClockEntry(durable_own.version, 0)
+            self.clock = FaultTolerantVectorClock(entries)
+            self._stable_own = entries[self.pid]
         failed_version = self.clock[self.pid].version
         restored_ts = self.clock[self.pid].timestamp
         token = RecoveryToken(
@@ -279,10 +301,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
                     awaiting=missing,
                 )
             return
-        if (
-            self.config.retransmit_on_token
-            and envelope.dedup_id in self._delivered_ids
-        ):
+        if envelope.dedup_id in self._delivered_ids:
             self.stats.duplicates_discarded += 1
             self.obs.counter("dg.duplicates_discarded")
             if self.trace is not None:
@@ -309,11 +328,23 @@ class DamaniGargProcess(BaseRecoveryProcess):
         # created (needed for identity-preserving replay).  Receive and log
         # are a single atomic simulator event, so this ordering is
         # unobservable to the rest of the system.
+        # The entry snapshots the post-delivery *receiver* clock alongside
+        # the message clock: replay restores it verbatim, so clock events
+        # that happened between deliveries (a rollback's tick, a restart's
+        # version bump) are reproduced even though they leave no log entry
+        # of their own.  Recomputing merge+tick from the checkpoint instead
+        # would silently understate replayed clocks whenever recovery
+        # interleaved with the logged suffix.
         self.storage.log.append(
             msg.msg_id,
             msg.src,
             envelope.payload,
-            meta=(envelope.clock, envelope.dedup_id, self.executor.current_uid),
+            meta=(
+                envelope.clock,
+                envelope.dedup_id,
+                self.executor.current_uid,
+                self.clock,
+            ),
         )
         for send in ctx.sends:
             self._register_send(send.dst, send.payload, transmit=True)
@@ -323,15 +354,23 @@ class DamaniGargProcess(BaseRecoveryProcess):
     def _replay_entry(self, entry) -> None:
         """Re-execute one logged receive; sends and outputs are suppressed
         (piecewise determinism guarantees they equal the originals)."""
-        clock, dedup_id, uid = entry.meta
+        clock, dedup_id, uid, state_clock = entry.meta
         self.history.observe_message_clock(clock)
-        self.clock = self.clock.merge(clock).tick(self.pid)
+        # Restore the logged post-delivery clock rather than recomputing
+        # merge+tick: the logged value embeds every clock adjustment that
+        # recovery events made between entries (see the append site).
+        self.clock = state_clock
         self._delivered_ids.add(dedup_id)
         self.stats.replayed += 1
         ctx = self.executor.execute(
             entry.payload, msg_id=entry.msg_id, replay=True, uid=uid
         )
-        self.clock_by_uid[self.executor.current_uid] = self.clock
+        # First write wins: a same-incarnation replay reconstructs the
+        # original clock exactly, but a post-restart replay of an entry
+        # from a later incarnation rebuilds the state content under an
+        # older own version -- the clock recorded at the original
+        # delivery is the truthful one for the Theorem 1 oracle.
+        self.clock_by_uid.setdefault(self.executor.current_uid, self.clock)
         for send in ctx.sends:
             self._register_send(send.dst, send.payload, transmit=False)
         self.emit_outputs(ctx.outputs, replay=True)
@@ -417,7 +456,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         # path (which re-checks obsoleteness against the now-installed
         # token record and discards the rest).
         for entry in leftovers:
-            clock, dedup_id, _old_uid = entry.meta
+            clock, dedup_id = entry.meta[0], entry.meta[1]
             self._receive_app(
                 _ReplayedNetworkMessage(
                     msg_id=entry.msg_id,
@@ -481,7 +520,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             position = ckpt.log_position
             replayed = 0
             for entry in self.storage.log.stable_entries(position):
-                clock, _, _ = entry.meta
+                clock = entry.meta[0]
                 e = clock[token.origin]
                 if (
                     e.version == token.version
@@ -510,7 +549,10 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self.clock = FaultTolerantVectorClock(entries)
         restored_uid = self.executor.new_recovery_state()
         self.clock_by_uid[self.executor.current_uid] = self.clock
-        self._stable_own = self.clock[self.pid]
+        # The rollback began with a full flush, so the post-rollback own
+        # entry is stable-reconstructible; persist it (the rollback may
+        # be about to discard the only checkpoints recording our version).
+        self._set_stable_own(self.clock[self.pid])
         # Tokens are durable facts; reinstate every logged one over the
         # restored (older) history.
         for logged in self.storage.tokens:
@@ -550,9 +592,12 @@ class DamaniGargProcess(BaseRecoveryProcess):
             "clock": self.clock,
             "history": self.history.snapshot(),
             "send_seq": self._send_seq,
+            # Always checkpointed: duplicate suppression must survive a
+            # rollback/restart even without the retransmission extension
+            # (the transport may be at-least-once regardless).
+            "delivered_ids": set(self._delivered_ids),
         }
         if self.config.retransmit_on_token:
-            extras["delivered_ids"] = set(self._delivered_ids)
             extras["send_log"] = list(self._send_log)
         return extras
 
@@ -562,11 +607,10 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self.history = ckpt.extras["history"].snapshot()
         self._send_seq = ckpt.extras["send_seq"]
         self._pending_outputs = []    # replay re-emits what still matters
+        self._delivered_ids = set(ckpt.extras.get("delivered_ids", set()))
         if self.config.retransmit_on_token:
-            self._delivered_ids = set(ckpt.extras.get("delivered_ids", set()))
             self._send_log = list(ckpt.extras.get("send_log", []))
         else:
-            self._delivered_ids = set()
             self._send_log = []
 
     # ------------------------------------------------------------------
@@ -617,8 +661,28 @@ class DamaniGargProcess(BaseRecoveryProcess):
         moved = super().flush_log()
         # Everything delivered so far is now reconstructible from stable
         # storage; our own-entry becomes part of the global stable frontier.
-        self._stable_own = self.clock[self.pid]
+        self._set_stable_own(self.clock[self.pid])
         return moved
+
+    def _set_stable_own(self, entry) -> None:
+        """Record the own-entry frontier of stable storage (durably).
+
+        The frontier rides along with writes that are already synchronous
+        (flushes, the rollback's pre-restore flush), so persisting it here
+        adds one word to those writes, not a new write.  ``on_restart``
+        reads back the *version*: it must survive failures even when every
+        checkpoint of the current incarnation has been discarded by an
+        interleaved rollback, or a second failure would re-announce an
+        already-dead version and leave that incarnation's orphans standing.
+
+        Plain assignment, not a monotone max: a rollback truncates the
+        stable log and then re-records the (lower) post-rollback entry --
+        the old frontier would cover states that stable storage no longer
+        holds, which both mis-aims the next restart token and lets the
+        stability coordinator certify outputs against vanished states.
+        """
+        self._stable_own = entry
+        self.storage.put("stable_own", self._stable_own)
 
     def stable_frontier(self):
         """The own clock entry of our latest stable-storage-recoverable

@@ -11,7 +11,10 @@ comparable.
   control messages when failure-free" regime);
 - ``crash-storm``   -- 6 processes, repeated and concurrent crashes;
 - ``partition``     -- a crash inside a network partition;
-- ``scale``         -- 16 processes, two crashes, the heaviest of the set.
+- ``scale``         -- 16 processes, two crashes, the heaviest of the set;
+- ``stress-mix``    -- one schedule drawn from the randomized stress
+  generator (crash bursts, partitions, duplicates), pinned to a seed so
+  the adversarial regime also gets a stable PR-over-PR number.
 """
 
 from __future__ import annotations
@@ -98,12 +101,27 @@ def scale(seed: int = 3) -> ExperimentSpec:
     )
 
 
+def stress_mix(seed: int = 55) -> ExperimentSpec:
+    """One generated adversarial schedule, via the stress harness.
+
+    The default seed picks a case that mixes concurrent crashes with
+    duplicate injection -- historically the regime that found real
+    protocol bugs -- so its trace/bench numbers track the cost of
+    recovery under compounded failures rather than a hand-picked plan.
+    """
+    from repro.stress.generate import build_spec, generate_case
+    from repro.stress.profiles import DEFAULT_PROFILE
+
+    return build_spec(generate_case(seed, DEFAULT_PROFILE))
+
+
 SCENARIOS: dict[str, Callable[..., ExperimentSpec]] = {
     "quickstart": quickstart,
     "failure-free": failure_free,
     "crash-storm": crash_storm,
     "partition": partition,
     "scale": scale,
+    "stress-mix": stress_mix,
 }
 
 

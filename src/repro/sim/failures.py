@@ -61,10 +61,11 @@ class CrashPlan:
     ) -> "CrashPlan":
         """Independent Poisson crash arrivals per process.
 
-        ``rate`` is crashes per unit virtual time per process.  Crashes
-        while a process is still down are skipped when the plan executes
-        (``ProcessHost.crash`` is a no-op on a dead process), so overlap is
-        harmless.
+        ``rate`` is crashes per unit virtual time per process.  A crash
+        that lands while the process is still down from an earlier crash
+        is skipped *as a whole* when the plan executes -- neither the
+        crash nor its paired restart fires -- so overlap is harmless: the
+        earlier crash's downtime is never truncated.
         """
         streams = streams if streams is not None else RandomStreams(0)
         plan = CrashPlan()
@@ -104,7 +105,14 @@ class PartitionEvent:
 
 @dataclass
 class PartitionPlan:
-    """A deterministic schedule of partitions (non-overlapping)."""
+    """A deterministic schedule of partitions (non-overlapping).
+
+    Non-overlap is enforced by :meth:`validate` (called by
+    :meth:`FailureInjector.install`): the network holds a single partition
+    at a time, so a second partition imposed before the first heals would
+    silently overwrite it and the first heal would release everything
+    early.
+    """
 
     events: list[PartitionEvent] = field(default_factory=list)
 
@@ -120,6 +128,18 @@ class PartitionPlan:
             )
         )
         return self
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any two partition windows overlap."""
+        ordered = sorted(self.events, key=lambda e: e.time)
+        for prev, nxt in zip(ordered, ordered[1:]):
+            if nxt.time < prev.heal_time:
+                raise ValueError(
+                    f"overlapping partitions: [{prev.time}, {prev.heal_time}) "
+                    f"and [{nxt.time}, {nxt.heal_time}) -- the network holds "
+                    "one partition at a time; heal the first before forming "
+                    "the second"
+                )
 
 
 class FailureInjector:
@@ -147,18 +167,14 @@ class FailureInjector:
                 # precedes message deliveries scheduled for the same instant.
                 self.sim.schedule_at(
                     ev.time,
-                    host.crash,
+                    lambda host=host, ev=ev: self._crash(host, ev),
                     priority=-1,
                     label=f"crash:{ev.pid}",
-                )
-                self.sim.schedule_at(
-                    ev.time + ev.downtime,
-                    host.restart,
-                    label=f"restart:{ev.pid}",
                 )
         if partitions is not None:
             if self.network is None:
                 raise ValueError("partition plan requires a network")
+            partitions.validate()
             for pev in partitions.events:
                 self.sim.schedule_at(
                     pev.time,
@@ -166,6 +182,27 @@ class FailureInjector:
                     priority=-1,
                     label="partition",
                 )
+                # Heal fires ahead of everything else at its instant so a
+                # back-to-back plan (next partition forming exactly at this
+                # heal time) finds the network connected again.
                 self.sim.schedule_at(
-                    pev.heal_time, self.network.heal, label="heal"
+                    pev.heal_time,
+                    self.network.heal,
+                    priority=-2,
+                    label="heal",
                 )
+
+    def _crash(self, host: ProcessHost, ev: CrashEvent) -> None:
+        """Crash ``host`` and schedule the paired restart -- liveness-aware.
+
+        A crash landing while the process is already down is a no-op, and
+        its restart must not fire either: scheduling both unconditionally
+        would let the second crash's (earlier) restart resurrect the
+        process mid-way through the first crash's downtime.
+        """
+        if not host.alive:
+            return
+        host.crash()
+        self.sim.schedule(
+            ev.downtime, host.restart, label=f"restart:{ev.pid}"
+        )

@@ -296,8 +296,16 @@ class Network:
         """Split the network into the given groups.
 
         Every pid must appear in exactly one group.  Messages between
-        different groups are held until :meth:`heal`.
+        different groups are held until :meth:`heal`.  At most one
+        partition can be in force: imposing a second one would silently
+        overwrite the first, and the first heal would then release
+        everything early.
         """
+        if self._partition is not None:
+            raise ValueError(
+                "network is already partitioned; heal() before imposing "
+                "another partition"
+            )
         assignment: dict[int, int] = {}
         for gid, group in enumerate(groups):
             for pid in group:
@@ -326,6 +334,15 @@ class Network:
         """Remove the partition and release held messages."""
         self._partition = None
         held, self._held = self._held, []
+        if self.order is DeliveryOrder.FIFO:
+            # ``_held`` mixes messages held at send time with messages
+            # caught *in flight* (partition imposed after scheduling),
+            # which join the list at their delivery time -- after later
+            # sends held at send time.  Rescheduling in list order would
+            # hand the per-channel floor to the later send first and
+            # cement the inversion; msg_ids are minted in send order, so
+            # sorting restores per-channel send order.
+            held.sort(key=lambda m: m.msg_id)
         for msg in held:
             self._schedule_delivery(msg)
         tracer = self.sim.tracer

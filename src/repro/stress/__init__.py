@@ -1,0 +1,48 @@
+"""Randomized fault-injection stress harness (the PR-2 tentpole).
+
+Thousands of seeded adversarial schedules -- overlapping Poisson
+crashes, concurrent bursts, repeated partitions, duplicate injection,
+FIFO and arbitrary ordering -- run against the Damani-Garg protocol and
+graded by every invariant oracle the repo has.  Failing seeds shrink to
+minimal JSON reproducers.  Entry points: ``python -m repro stress`` or
+:func:`repro.stress.sweep`.
+"""
+
+from repro.stress.generate import (
+    StressCase,
+    build_spec,
+    case_from_dict,
+    case_to_dict,
+    generate_case,
+)
+from repro.stress.oracles import check_case
+from repro.stress.profiles import DEFAULT_PROFILE, PROFILES, WORKLOADS, StressProfile
+from repro.stress.shrink import shrink_case
+from repro.stress.sweep import (
+    CaseResult,
+    SweepReport,
+    dump_reproducer,
+    load_reproducer,
+    run_case,
+    sweep,
+)
+
+__all__ = [
+    "StressCase",
+    "StressProfile",
+    "PROFILES",
+    "DEFAULT_PROFILE",
+    "WORKLOADS",
+    "generate_case",
+    "build_spec",
+    "case_to_dict",
+    "case_from_dict",
+    "check_case",
+    "shrink_case",
+    "run_case",
+    "sweep",
+    "CaseResult",
+    "SweepReport",
+    "dump_reproducer",
+    "load_reproducer",
+]

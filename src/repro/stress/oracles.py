@@ -1,0 +1,83 @@
+"""Invariant oracles for stress runs.
+
+:func:`check_case` grades one finished stress run against every safety
+property the repo knows how to check, and returns the full list of
+violations as strings (empty = the case passed).  It composes the
+existing :mod:`repro.analysis` oracles rather than re-deriving anything:
+
+- :func:`~repro.analysis.consistency.check_recovery` -- no surviving
+  orphan, minimal rollback, maximum recoverable state, at most one
+  rollback per failure, sound obsolete detection (Theorems 2/3, Lemma 4);
+- :func:`~repro.analysis.theorem.check_theorem1` -- FTVC comparison
+  agrees with the reconstructed happen-before on useful states
+  (capped at ``theorem_max_states`` because the check is O(states^2));
+- :func:`~repro.analysis.metrics.measure_overhead` -- the history
+  structure stays within the paper's O(n.f) bound;
+- output-commit safety -- when the Section 6.5 extension is on, no
+  output committed to the environment may originate in a state that the
+  ground truth later classifies as lost or orphaned.
+
+The strings are shrinker-friendly: a case "still fails" when it produces
+*any* violation, so shrinking never needs to parse them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.consistency import check_recovery
+from repro.analysis.metrics import measure_overhead
+from repro.analysis.theorem import check_theorem1
+from repro.harness.runner import ExperimentResult
+from repro.sim.trace import EventKind
+from repro.stress.generate import StressCase
+
+
+def check_case(
+    result: ExperimentResult,
+    case: StressCase,
+    *,
+    theorem_max_states: int = 200,
+) -> list[str]:
+    """Run every oracle against ``result``; return all violations."""
+    violations: list[str] = []
+
+    verdict = check_recovery(result)
+    violations.extend(f"recovery: {v}" for v in verdict.violations)
+
+    theorem = check_theorem1(result, max_states=theorem_max_states)
+    violations.extend(f"theorem1: {v}" for v in theorem.violations)
+
+    overhead = measure_overhead(result)
+    if not overhead.history_within_bound:
+        violations.append(
+            f"overhead: history size {overhead.history_records_max} exceeds "
+            f"O(n.f) bound {overhead.history_bound}"
+        )
+
+    if case.commit_outputs:
+        violations.extend(_check_output_commit(result, verdict))
+
+    return violations
+
+
+def _check_output_commit(result: ExperimentResult, verdict) -> list[str]:
+    """Committed outputs must never originate in a lost/orphan state.
+
+    The ground truth is reconstructed *after* the run, with full
+    knowledge of every failure; the protocol had to make the same call
+    online.  Any committed output whose source state the ground truth
+    condemns is an unrecoverable leak to the environment.
+    """
+    gt = verdict.ground_truth
+    condemned = verdict.orphans | gt.lost
+    bad: list[str] = []
+    for ev in result.trace.events(EventKind.OUTPUT):
+        if not ev.get("committed"):
+            continue
+        uid = tuple(ev["uid"])
+        if uid in condemned:
+            bad.append(
+                f"output-commit: pid {ev.pid} committed output "
+                f"{ev.get('value')!r} from condemned state {uid} at "
+                f"t={ev.time:.3f}"
+            )
+    return bad

@@ -1,0 +1,198 @@
+"""The stress sweep: generate, run, grade, shrink, report.
+
+:func:`sweep` drives the whole tentpole loop: for each seed in the
+block, :func:`~repro.stress.generate.generate_case` draws a schedule,
+:func:`run_case` executes it under the Damani-Garg protocol and grades
+it with every oracle in :mod:`repro.stress.oracles`, and any failure is
+handed to :func:`~repro.stress.shrink.shrink_case` and dumped as a
+replayable JSON reproducer.
+
+A simulator bug that *raises* (rather than merely violating an
+invariant) is treated exactly like an oracle violation -- caught,
+reported, shrunk -- so the sweep keeps going and one bad schedule never
+hides the rest of the block.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.harness.runner import run_experiment
+from repro.stress.generate import (
+    StressCase,
+    build_spec,
+    case_from_dict,
+    case_to_dict,
+    generate_case,
+)
+from repro.stress.oracles import check_case
+from repro.stress.profiles import DEFAULT_PROFILE, StressProfile
+from repro.stress.shrink import shrink_case
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One graded run."""
+
+    case: StressCase
+    violations: tuple[str, ...] = ()
+    error: str | None = None
+    shrunk: StressCase | None = None
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations) or self.error is not None
+
+    def headline(self) -> str:
+        if self.error is not None:
+            first = self.error.strip().splitlines()[-1]
+            return f"exception: {first}"
+        if self.violations:
+            return self.violations[0]
+        return "ok"
+
+
+def run_case(
+    case: StressCase, *, theorem_max_states: int = 200
+) -> CaseResult:
+    """Execute one schedule and grade it; exceptions become failures."""
+    try:
+        result = run_experiment(build_spec(case))
+        violations = check_case(
+            result, case, theorem_max_states=theorem_max_states
+        )
+    except Exception:
+        return CaseResult(case=case, error=traceback.format_exc(limit=12))
+    return CaseResult(case=case, violations=tuple(violations))
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of one seed block."""
+
+    profile: str
+    base_seed: int
+    schedules: int
+    cases_run: int = 0
+    crash_events: int = 0
+    partition_events: int = 0
+    duplicate_cases: int = 0
+    failures: list[CaseResult] = field(default_factory=list)
+    reproducers: list[Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"stress sweep: {self.cases_run}/{self.schedules} schedules "
+            f"(profile={self.profile}, seeds {self.base_seed}.."
+            f"{self.base_seed + self.schedules - 1})",
+            f"  injected: {self.crash_events} crashes, "
+            f"{self.partition_events} partitions, "
+            f"{self.duplicate_cases} duplicate-injecting cases",
+        ]
+        if self.ok:
+            lines.append("  all invariants held")
+        else:
+            lines.append(f"  FAILURES: {len(self.failures)}")
+            for fr in self.failures:
+                repro = fr.shrunk if fr.shrunk is not None else fr.case
+                lines.append(f"    seed {fr.case.seed}: {fr.headline()}")
+                lines.append(f"      reproducer: {repro.describe()}")
+        return "\n".join(lines)
+
+
+def sweep(
+    schedules: int,
+    *,
+    base_seed: int = 0,
+    profile: StressProfile = DEFAULT_PROFILE,
+    shrink: bool = True,
+    max_shrink_attempts: int = 150,
+    fail_fast: bool = False,
+    out_dir: Path | None = None,
+    run: Callable[..., CaseResult] = run_case,
+    progress: Callable[[int, CaseResult], None] | None = None,
+) -> SweepReport:
+    """Run ``schedules`` generated cases for seeds ``base_seed..``.
+
+    ``run`` is injectable so tests can exercise the sweep/shrink/dump
+    plumbing against synthetic failures without paying for simulations.
+    """
+    report = SweepReport(
+        profile=profile.name, base_seed=base_seed, schedules=schedules
+    )
+    for index in range(schedules):
+        seed = base_seed + index
+        case = generate_case(seed, profile)
+        result = run(case, theorem_max_states=profile.theorem_max_states)
+        report.cases_run += 1
+        report.crash_events += case.crash_count
+        report.partition_events += case.partition_count
+        if case.duplicate_rate:
+            report.duplicate_cases += 1
+        if result.failed:
+            if shrink:
+                def fails(candidate: StressCase) -> bool:
+                    return run(
+                        candidate,
+                        theorem_max_states=profile.theorem_max_states,
+                    ).failed
+
+                shrunk = shrink_case(
+                    result.case, fails, max_attempts=max_shrink_attempts
+                )
+                if shrunk != result.case:
+                    result = CaseResult(
+                        case=result.case,
+                        violations=result.violations,
+                        error=result.error,
+                        shrunk=shrunk,
+                    )
+            report.failures.append(result)
+            if out_dir is not None:
+                report.reproducers.append(dump_reproducer(result, out_dir))
+            if fail_fast:
+                if progress is not None:
+                    progress(index, result)
+                break
+        if progress is not None:
+            progress(index, result)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Reproducer files
+# ---------------------------------------------------------------------------
+def dump_reproducer(result: CaseResult, out_dir: Path) -> Path:
+    """Write a failing case (and its shrunk form) as replayable JSON."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "case": case_to_dict(result.case),
+        "shrunk": (
+            case_to_dict(result.shrunk) if result.shrunk is not None else None
+        ),
+        "violations": list(result.violations),
+        "error": result.error,
+    }
+    path = out_dir / f"stress-repro-seed{result.case.seed}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: Path) -> tuple[StressCase, dict]:
+    """Load a reproducer; returns (case to replay, full payload).
+
+    Replays the shrunk case when one was recorded -- that is the point
+    of shrinking -- with the original still available in the payload.
+    """
+    data = json.loads(Path(path).read_text())
+    chosen = data.get("shrunk") or data["case"]
+    return case_from_dict(chosen), data

@@ -62,6 +62,36 @@ def test_sender_based_suppresses_duplicates():
     assert check_recovery(result).ok
 
 
+def test_plain_damani_garg_suppresses_duplicates():
+    """Regression: duplicate suppression must not depend on the Remark-1
+    retransmission extension -- a duplicating transport double-delivered
+    to a plain DG process, violating exactly-once delivery."""
+    result = run(DamaniGargProcess, rate=0.3, retransmit=False)
+    assert result.network.duplicates_injected > 0
+    assert result.total("duplicates_discarded") == (
+        result.network.duplicates_injected
+    )
+    # Exactly-once: every unique send delivered once, every duplicate eaten.
+    assert result.total("app_delivered") == result.total("app_sent")
+    assert check_recovery(result).ok
+
+
+def test_plain_damani_garg_dedup_survives_crashes():
+    """Dedup state must survive restore/replay without retransmit_on_token
+    (delivered ids are checkpointed and rebuilt from the log)."""
+    for seed in range(3):
+        result = run(
+            DamaniGargProcess,
+            rate=0.25,
+            crashes=CrashPlan().crash(20.0, 1, 2.0),
+            seed=seed,
+            retransmit=False,
+        )
+        verdict = check_recovery(result)
+        assert verdict.ok, (seed, verdict.violations)
+        assert result.total("duplicates_discarded") > 0
+
+
 def test_damani_garg_with_dedup_survives_duplication_and_crashes():
     for seed in range(4):
         result = run(

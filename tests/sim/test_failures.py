@@ -105,6 +105,51 @@ def test_poisson_max_failures_cap():
     assert all(count <= 3 for count in per_pid.values())
 
 
+def test_overlapping_crashes_do_not_truncate_downtime():
+    """Regression: a crash landing mid-downtime is a no-op, and its paired
+    restart must not fire either -- otherwise it resurrects the process
+    early, silently truncating the first crash's downtime."""
+    sim, net, hosts = make_stack()
+    plan = (
+        CrashPlan()
+        .crash(10.0, 1, downtime=5.0)       # down [10, 15)
+        .crash(11.0, 1, downtime=1.0)       # overlaps; restart at 12 must not fire
+    )
+    FailureInjector(sim, hosts, net).install(plan)
+    alive_at = {}
+    for t in (10.5, 12.5, 14.5, 15.5):
+        sim.schedule_at(t, lambda t=t: alive_at.setdefault(t, hosts[1].alive))
+    sim.run()
+    assert alive_at == {10.5: False, 12.5: False, 14.5: False, 15.5: True}
+    assert hosts[1].crash_count == 1        # the overlapping crash was skipped
+
+
+def test_overlapping_crash_restart_never_fires_late_either():
+    """The skipped crash's restart is not merely deferred: a long second
+    downtime must not extend the first crash's outage."""
+    sim, net, hosts = make_stack()
+    plan = (
+        CrashPlan()
+        .crash(10.0, 1, downtime=4.0)       # down [10, 14)
+        .crash(12.0, 1, downtime=100.0)     # skipped as a whole
+    )
+    FailureInjector(sim, hosts, net).install(plan)
+    sim.run(until=15.0)
+    assert hosts[1].alive                   # back at 14, not 112
+    assert hosts[1].crash_count == 1
+    sim.run()
+    assert hosts[1].alive
+
+
+def test_sequential_crashes_still_both_fire():
+    sim, net, hosts = make_stack()
+    plan = CrashPlan().crash(5.0, 1, downtime=2.0).crash(9.0, 1, downtime=2.0)
+    FailureInjector(sim, hosts, net).install(plan)
+    sim.run()
+    assert hosts[1].alive
+    assert hosts[1].crash_count == 2
+
+
 def test_partition_plan_executes():
     sim, net, hosts = make_stack()
     received = []
@@ -128,3 +173,43 @@ def test_partition_requires_network():
 def test_partition_heal_before_form_rejected():
     with pytest.raises(ValueError):
         PartitionPlan().partition(5.0, [[0], [1]], heal_time=5.0)
+
+
+def test_overlapping_partition_plan_rejected():
+    """Regression: the docstring promises non-overlap but nothing enforced
+    it -- a second partition overwrote the first and the first heal
+    released everything early."""
+    sim, net, hosts = make_stack()
+    plan = (
+        PartitionPlan()
+        .partition(5.0, [[0, 1], [2]], heal_time=15.0)
+        .partition(10.0, [[0], [1, 2]], heal_time=20.0)
+    )
+    with pytest.raises(ValueError, match="overlapping partitions"):
+        FailureInjector(sim, hosts, net).install(partitions=plan)
+
+
+def test_overlap_detection_is_order_independent():
+    plan = (
+        PartitionPlan()
+        .partition(10.0, [[0], [1, 2]], heal_time=20.0)
+        .partition(5.0, [[0, 1], [2]], heal_time=15.0)
+    )
+    with pytest.raises(ValueError, match="overlapping partitions"):
+        plan.validate()
+
+
+def test_back_to_back_partitions_allowed():
+    """Non-overlapping windows, including one forming exactly at the
+    previous heal instant, execute cleanly."""
+    sim, net, hosts = make_stack()
+    plan = (
+        PartitionPlan()
+        .partition(2.0, [[0, 1], [2]], heal_time=6.0)
+        .partition(6.0, [[0], [1, 2]], heal_time=9.0)
+        .partition(12.0, [[0, 2], [1]], heal_time=14.0)
+    )
+    FailureInjector(sim, hosts, net).install(partitions=plan)
+    sim.run()
+    assert net._partition is None
+    assert net.held_messages == 0

@@ -119,6 +119,54 @@ def test_partition_catches_in_flight_messages():
     assert [m.payload for m in inboxes[1]] == ["in-flight"]
 
 
+def test_fifo_order_survives_partition_heal():
+    """Regression: a message caught *in flight* by a partition joins the
+    held list at its delivery time -- after later sends held at send time.
+    heal() must release held messages in per-channel send order, or the
+    FIFO floor cements the inversion."""
+    sim, net, inboxes = make_net(
+        n=2, order=DeliveryOrder.FIFO, latency=FixedLatency(5.0)
+    )
+    net.send(0, 1, "first")                  # in flight, would deliver at t=5
+    sim.run(until=1.0)
+    net.partition([[0], [1]])                # imposed while "first" in flight
+    sim.schedule_at(2.0, lambda: net.send(0, 1, "second"))  # held at send
+    sim.run(until=10.0)
+    assert inboxes[1] == []
+    net.heal()
+    sim.run()
+    assert [m.payload for m in inboxes[1]] == ["first", "second"]
+
+
+def test_fifo_heal_release_many_messages():
+    """Same inversion with interleaved in-flight and held-at-send traffic."""
+    sim, net, inboxes = make_net(
+        n=2, order=DeliveryOrder.FIFO, latency=FixedLatency(8.0)
+    )
+    for i in range(3):
+        net.send(0, 1, ("flight", i))        # all in flight at partition time
+    sim.run(until=1.0)
+    net.partition([[0], [1]])
+    for i in range(3):
+        sim.schedule_at(2.0 + i, lambda i=i: net.send(0, 1, ("held", i)))
+    sim.run(until=20.0)
+    net.heal()
+    sim.run()
+    got = [m.payload for m in inboxes[1]]
+    assert got == [("flight", 0), ("flight", 1), ("flight", 2),
+                   ("held", 0), ("held", 1), ("held", 2)]
+
+
+def test_second_partition_while_active_rejected():
+    sim, net, _ = make_net(n=3)
+    net.partition([[0, 1], [2]])
+    with pytest.raises(ValueError, match="already partitioned"):
+        net.partition([[0], [1, 2]])
+    net.heal()
+    net.partition([[0], [1, 2]])             # legal again after heal
+    net.heal()
+
+
 def test_partition_validation():
     sim, net, _ = make_net(n=3)
     with pytest.raises(ValueError, match="missing"):

@@ -1,0 +1,87 @@
+"""The ``python -m repro stress`` subcommand."""
+
+import json
+
+from repro.__main__ import main
+from repro.stress import CaseResult, dump_reproducer, generate_case
+from repro.stress.profiles import PROFILES
+
+
+def test_stress_sweep_clean(capsys):
+    code = main(
+        ["stress", "--schedules", "8", "--seed", "0",
+         "--profile", "quick", "--quiet"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "8/8 schedules" in out
+    assert "all invariants held" in out
+
+
+def test_stress_progress_lines(capsys):
+    # Progress prints every 100 schedules; 8 schedules -> none, but the
+    # non-quiet path must still run and stay clean.
+    assert main(
+        ["stress", "--schedules", "8", "--profile", "quick"]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_stress_replay_passing_reproducer(tmp_path, capsys):
+    case = generate_case(2, PROFILES["quick"])
+    path = dump_reproducer(
+        CaseResult(case=case, violations=("recovery: historic",)), tmp_path
+    )
+    code = main(["stress", "--profile", "quick", "--replay", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "now passing" in out
+    assert "historic" in out
+
+
+def test_stress_replay_failing_reproducer_exits_nonzero(
+    tmp_path, capsys, monkeypatch
+):
+    import repro.__main__ as cli
+    import repro.stress as stress
+
+    case = generate_case(2, PROFILES["quick"])
+    path = dump_reproducer(
+        CaseResult(case=case, violations=("recovery: boom",)), tmp_path
+    )
+
+    def fake_run(case, *, theorem_max_states):
+        return CaseResult(case=case, violations=("recovery: still broken",))
+
+    monkeypatch.setattr(stress, "run_case", fake_run)
+    code = main(["stress", "--profile", "quick", "--replay", str(path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "still failing" in out
+    assert "still broken" in out
+
+
+def test_stress_failure_path_writes_reproducer_and_exits_nonzero(
+    tmp_path, capsys, monkeypatch
+):
+    import repro.stress as stress
+
+    real_run = stress.run_case
+
+    def flaky_run(case, *, theorem_max_states):
+        if case.seed == 1:
+            return CaseResult(case=case, violations=("recovery: synthetic",))
+        return real_run(case, theorem_max_states=theorem_max_states)
+
+    monkeypatch.setattr(stress, "run_case", flaky_run)
+    code = main(
+        ["stress", "--schedules", "3", "--profile", "quick", "--no-shrink",
+         "--out-dir", str(tmp_path), "--quiet"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAILURES: 1" in out
+    repro_path = tmp_path / "stress-repro-seed1.json"
+    assert repro_path.exists()
+    payload = json.loads(repro_path.read_text())
+    assert payload["violations"] == ["recovery: synthetic"]

@@ -1,0 +1,150 @@
+"""Sweep plumbing (injectable runner) and reproducer files.
+
+The real end-to-end sweep is covered by ``test_stress_smoke.py``; here a
+fake runner makes failures cheap and deterministic so the accounting,
+shrink hookup, fail-fast, and dump/load paths can be pinned exactly.
+"""
+
+from repro.stress import (
+    CaseResult,
+    PROFILES,
+    dump_reproducer,
+    generate_case,
+    load_reproducer,
+    sweep,
+)
+
+QUICK = PROFILES["quick"]
+
+
+def _passing(case, *, theorem_max_states):
+    return CaseResult(case=case)
+
+
+def _failing_on(seeds):
+    def run(case, *, theorem_max_states):
+        if case.seed in seeds:
+            return CaseResult(
+                case=case, violations=("recovery: synthetic violation",)
+            )
+        return CaseResult(case=case)
+
+    return run
+
+
+def test_clean_sweep_reports_ok():
+    report = sweep(10, profile=QUICK, run=_passing)
+    assert report.ok
+    assert report.cases_run == 10
+    assert report.failures == []
+    assert "all invariants held" in report.summary()
+
+
+def test_injection_counters_match_generated_cases():
+    report = sweep(25, profile=QUICK, run=_passing)
+    cases = [generate_case(seed, QUICK) for seed in range(25)]
+    assert report.crash_events == sum(c.crash_count for c in cases)
+    assert report.partition_events == sum(c.partition_count for c in cases)
+    assert report.duplicate_cases == sum(
+        1 for c in cases if c.duplicate_rate
+    )
+
+
+def test_failures_are_collected_and_summarised():
+    report = sweep(10, profile=QUICK, run=_failing_on({3, 7}), shrink=False)
+    assert not report.ok
+    assert [f.case.seed for f in report.failures] == [3, 7]
+    summary = report.summary()
+    assert "FAILURES: 2" in summary
+    assert "seed 3" in summary and "seed 7" in summary
+
+
+def test_fail_fast_stops_at_first_failure():
+    report = sweep(10, profile=QUICK, run=_failing_on({2}), fail_fast=True)
+    assert report.cases_run == 3
+    assert len(report.failures) == 1
+
+
+def test_base_seed_offsets_the_block():
+    report = sweep(5, base_seed=100, profile=QUICK, run=_failing_on({102}))
+    assert [f.case.seed for f in report.failures] == [102]
+
+
+def test_sweep_shrinks_failures_with_the_injected_runner():
+    # The synthetic failure only needs the first crash event, so the
+    # sweep's shrink pass must strip everything else.
+    target = next(
+        seed for seed in range(50)
+        if generate_case(seed, QUICK).crash_count >= 2
+    )
+    essential = generate_case(target, QUICK).crashes[0]
+
+    def run(case, *, theorem_max_states):
+        if case.seed == target and essential in case.crashes:
+            return CaseResult(case=case, violations=("synthetic",))
+        return CaseResult(case=case)
+
+    report = sweep(target + 1, profile=QUICK, run=run)
+    (failure,) = report.failures
+    assert failure.shrunk is not None
+    assert failure.shrunk.crashes == (essential,)
+
+
+def test_progress_callback_sees_every_case():
+    seen = []
+    sweep(6, profile=QUICK, run=_passing, progress=lambda i, r: seen.append(i))
+    assert seen == list(range(6))
+
+
+def test_reproducer_round_trip(tmp_path):
+    case = generate_case(4, QUICK)
+    shrunk = generate_case(5, QUICK)
+    result = CaseResult(
+        case=case, violations=("recovery: boom",), shrunk=shrunk
+    )
+    path = dump_reproducer(result, tmp_path)
+    assert path.name == "stress-repro-seed4.json"
+    loaded, payload = load_reproducer(path)
+    assert loaded == shrunk          # replay prefers the shrunk form
+    assert payload["violations"] == ["recovery: boom"]
+    assert payload["error"] is None
+
+
+def test_reproducer_without_shrunk_replays_original(tmp_path):
+    case = generate_case(9, QUICK)
+    path = dump_reproducer(
+        CaseResult(case=case, error="Traceback: boom"), tmp_path
+    )
+    loaded, payload = load_reproducer(path)
+    assert loaded == case
+    assert payload["shrunk"] is None
+    assert "boom" in payload["error"]
+
+
+def test_sweep_writes_reproducers_to_out_dir(tmp_path):
+    report = sweep(
+        5,
+        profile=QUICK,
+        run=_failing_on({1, 4}),
+        shrink=False,
+        out_dir=tmp_path,
+    )
+    assert [p.name for p in report.reproducers] == [
+        "stress-repro-seed1.json",
+        "stress-repro-seed4.json",
+    ]
+    for path in report.reproducers:
+        assert path.exists()
+
+
+def test_exceptions_are_failures_not_crashes():
+    def run(case, *, theorem_max_states):
+        if case.seed == 2:
+            return CaseResult(case=case, error="Traceback: ZeroDivisionError")
+        return CaseResult(case=case)
+
+    report = sweep(5, profile=QUICK, run=run, shrink=False)
+    assert report.cases_run == 5
+    (failure,) = report.failures
+    assert failure.failed
+    assert "exception" in failure.headline()

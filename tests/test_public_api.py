@@ -34,6 +34,7 @@ PUBLIC_MODULES = [
     "repro.dsm",
     "repro.analysis",
     "repro.harness",
+    "repro.stress",
     "repro.testing",
 ]
 

@@ -12,7 +12,10 @@ Subcommands:
 - ``bench``    -- benchmark a named scenario and emit ``BENCH_obs.json``;
 - ``stress``   -- randomized fault-injection sweep: thousands of seeded
                   schedules, every run graded by the invariant oracles,
-                  failures shrunk to replayable JSON reproducers.
+                  failures shrunk to replayable JSON reproducers;
+- ``exec-bench`` -- benchmark the parallel execution engine itself:
+                  run one seed block serially and in parallel, verify the
+                  results are bit-identical, emit ``BENCH_exec.json``.
 
 Examples::
 
@@ -22,8 +25,9 @@ Examples::
     python -m repro figures
     python -m repro trace quickstart
     python -m repro bench crash-storm --repeats 5
-    python -m repro stress --schedules 500 --seed 0
+    python -m repro stress --schedules 500 --seed 0 --jobs 4
     python -m repro stress --replay stress-repro-seed55.json
+    python -m repro exec-bench --schedules 200 --jobs 4
 """
 
 from __future__ import annotations
@@ -35,34 +39,20 @@ from repro.analysis import check_recovery, measure_overhead
 from repro.apps import BankApp, PingPongApp, PipelineApp, RandomRoutingApp
 from repro.core.recovery import DamaniGargProcess
 from repro.harness.comparison import run_table1
+from repro.harness.conformance import PROTOCOL_REGISTRY
 from repro.harness.reporting import render_paper_comparison, render_table1
 from repro.harness.runner import ExperimentSpec, run_experiment
 from repro.harness.timeline import lane_summary, render_timeline
 from repro.protocols import (
-    CausalLoggingProcess,
     CoordinatedProcess,
-    PessimisticReceiverProcess,
-    PetersonKearnsProcess,
     ProtocolConfig,
-    SenderBasedProcess,
-    SistlaWelchProcess,
-    SmithJohnsonTygarProcess,
     StromYeminiProcess,
 )
 from repro.sim.failures import CrashPlan
 from repro.sim.network import DeliveryOrder
 
-PROTOCOLS = {
-    "damani-garg": DamaniGargProcess,
-    "strom-yemini": StromYeminiProcess,
-    "sender-based": SenderBasedProcess,
-    "sistla-welch": SistlaWelchProcess,
-    "peterson-kearns": PetersonKearnsProcess,
-    "smith-johnson-tygar": SmithJohnsonTygarProcess,
-    "pessimistic": PessimisticReceiverProcess,
-    "causal": CausalLoggingProcess,
-    "coordinated": CoordinatedProcess,
-}
+#: CLI protocol names resolve through the shared conformance registry.
+PROTOCOLS = PROTOCOL_REGISTRY
 
 WORKLOADS = {
     "routing": lambda n: RandomRoutingApp(
@@ -147,7 +137,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    rows = run_table1(n=args.n, seeds=tuple(args.seeds))
+    rows = run_table1(n=args.n, seeds=tuple(args.seeds), jobs=args.jobs)
     print(render_table1(rows))
     print()
     print(render_paper_comparison(rows))
@@ -214,9 +204,26 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark a named scenario; emit the BENCH_obs.json trajectory."""
-    from repro.obs import run_bench, write_bench_json
+    from repro.obs import (
+        run_bench,
+        run_bench_matrix,
+        write_bench_json,
+        write_bench_matrix_json,
+    )
 
-    bench = run_bench(args.scenario, seed=args.seed, repeats=args.repeats)
+    if args.matrix:
+        matrix = run_bench_matrix(
+            seed=args.seed, repeats=args.repeats, jobs=args.jobs
+        )
+        out = args.out if args.out != "BENCH_obs.json" else "BENCH_obs_matrix.json"
+        path = write_bench_matrix_json(matrix, out)
+        print(matrix.summary())
+        print(f"written: {path}")
+        return 0
+
+    bench = run_bench(
+        args.scenario, seed=args.seed, repeats=args.repeats, jobs=args.jobs
+    )
     path = write_bench_json(bench, args.out)
     print(f"scenario              : {bench.scenario}  "
           f"(n={bench.n}, seed={bench.seed}, repeats={bench.repeats})")
@@ -256,6 +263,14 @@ def cmd_stress(args: argparse.Namespace) -> int:
         return 0
 
     out_dir = Path(args.out_dir) if args.out_dir else None
+    if args.fail_fast and args.jobs > 1:
+        raise SystemExit("--fail-fast requires --jobs 1")
+
+    cache = None
+    if args.cache_dir is not None:
+        from repro.exec import ResultCache
+
+        cache = ResultCache(args.cache_dir)
 
     def progress(index: int, result) -> None:
         if result.failed:
@@ -272,11 +287,37 @@ def cmd_stress(args: argparse.Namespace) -> int:
         out_dir=out_dir,
         run=run_case,
         progress=progress if not args.quiet else None,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(report.summary())
     for path in report.reproducers:
         print(f"  wrote {path}")
     return 0 if report.ok else 1
+
+
+def cmd_exec_bench(args: argparse.Namespace) -> int:
+    """Serial-vs-parallel engine benchmark; emit BENCH_exec.json."""
+    from repro.exec import run_exec_bench, write_exec_bench_json
+
+    bench = run_exec_bench(
+        args.schedules,
+        jobs=args.jobs,
+        profile=args.profile,
+        base_seed=args.seed,
+    )
+    path = write_exec_bench_json(bench, args.out)
+    print(bench.summary())
+    print(f"written: {path}")
+    if not bench.identical:
+        return 1
+    if args.min_speedup is not None and bench.speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {bench.speedup:.2f}x is below the "
+            f"--min-speedup floor {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
@@ -333,6 +374,8 @@ def build_parser() -> argparse.ArgumentParser:
     t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     t1.add_argument("-n", type=int, default=4)
     t1.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    t1.add_argument("--jobs", type=_positive_int, default=1,
+                    help="measure protocol rows in parallel")
     t1.set_defaults(func=cmd_table1)
 
     figures = sub.add_parser("figures", help="verify Figures 1 and 5")
@@ -361,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=None)
     bench.add_argument("--repeats", type=_positive_int, default=3)
     bench.add_argument("--out", default="BENCH_obs.json", metavar="PATH")
+    bench.add_argument("--jobs", type=_positive_int, default=1,
+                       help="run repeats (and matrix cells) in parallel")
+    bench.add_argument("--matrix", action="store_true",
+                       help="benchmark every scenario into one merged report")
     bench.set_defaults(func=cmd_bench)
 
     from repro.stress.profiles import PROFILES as STRESS_PROFILES
@@ -385,7 +432,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="no per-schedule progress output")
     stress.add_argument("--replay", default=None, metavar="JSON",
                         help="replay one reproducer file instead of sweeping")
+    stress.add_argument("--jobs", type=_positive_int, default=1,
+                        help="run schedules across worker processes")
+    stress.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk result cache for schedule outcomes")
     stress.set_defaults(func=cmd_stress)
+
+    exec_bench = sub.add_parser(
+        "exec-bench",
+        help="serial-vs-parallel engine benchmark; emit BENCH_exec.json",
+    )
+    exec_bench.add_argument("--schedules", type=_positive_int, default=200)
+    exec_bench.add_argument("--jobs", type=_positive_int, default=4)
+    exec_bench.add_argument("--profile", choices=sorted(STRESS_PROFILES),
+                            default="quick")
+    exec_bench.add_argument("--seed", type=int, default=0)
+    exec_bench.add_argument("--out", default="BENCH_exec.json",
+                            metavar="PATH")
+    exec_bench.add_argument("--min-speedup", type=float, default=None,
+                            help="fail unless speedup reaches this floor")
+    exec_bench.set_defaults(func=cmd_exec_bench)
 
     overhead = sub.add_parser("overhead",
                               help="Section 6.9 overhead report")

@@ -1,0 +1,82 @@
+"""On-disk result cache for the parallel execution engine.
+
+Maps :func:`~repro.exec.tasks.task_key` digests to pickled task results so
+repeated sweeps and benchmark matrices skip seeds they have already graded.
+Entries live under ``root/<key[:2]>/<key>.pkl`` (the two-character fan-out
+keeps directories small for multi-thousand-seed sweeps) and are written
+atomically -- a temp file in the same directory, then ``os.replace`` -- so
+a killed run can never leave a truncated entry that a later run would
+deserialise.
+
+Anything unreadable (corrupt pickle, wrong permissions, races with a
+concurrent ``clear``) is treated as a miss; the cache is an accelerator,
+never a source of truth.  Invalidation is handled upstream: the key itself
+embeds a fingerprint of the entire ``repro`` source tree, so stale code
+can never produce a hit.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+class ResultCache:
+    """Pickle-per-key cache rooted at a directory of the caller's choice."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; any read/deserialise problem is a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -27,6 +27,11 @@ from typing import Sequence
 from repro.analysis.consistency import check_recovery
 from repro.apps import RandomRoutingApp
 from repro.core.recovery import DamaniGargProcess
+from repro.harness.conformance import (
+    PROTOCOL_REGISTRY,
+    grade_kwargs,
+    registry_name,
+)
 from repro.harness.runner import ExperimentSpec, run_experiment
 from repro.protocols.base import ProtocolConfig
 from repro.protocols.coordinated import CoordinatedProcess
@@ -86,18 +91,9 @@ class ComparisonRow:
         return PAPER_TABLE1.get(self.name)
 
 
-def _grade_kwargs(protocol_cls) -> dict:
-    """Which oracle checks the protocol actually promises."""
-    promises_minimal = protocol_cls not in (
-        StromYeminiProcess,
-        CoordinatedProcess,
-    )
-    return {
-        "expect_minimal_rollback": promises_minimal,
-        "expect_maximum_recovery": promises_minimal,
-        "expect_single_rollback_per_failure": protocol_cls
-        not in (StromYeminiProcess, CoordinatedProcess),
-    }
+# The per-protocol oracle expectations live with the conformance suite
+# (one source of truth for what each protocol promises).
+_grade_kwargs = grade_kwargs
 
 
 def measure_protocol(
@@ -182,17 +178,59 @@ def measure_protocol(
     )
 
 
+def exec_measure_protocol(payload: dict) -> ComparisonRow:
+    """Worker entry point: one Table 1 row, addressed by registry name."""
+    return measure_protocol(
+        PROTOCOL_REGISTRY[payload["protocol"]],
+        n=int(payload["n"]),
+        seeds=tuple(payload["seeds"]),
+    )
+
+
 def run_table1(
     *,
     n: int = 4,
     seeds: Sequence[int] = (0, 1, 2, 3, 4, 5),
     include_context: bool = True,
+    protocols: Sequence[type] | None = None,
+    jobs: int = 1,
 ) -> list[ComparisonRow]:
-    """Measure every Table 1 row (plus the context baselines)."""
-    protocols = list(TABLE1_PROTOCOLS)
-    if include_context:
-        protocols = protocols + CONTEXT_PROTOCOLS
-    return [
-        measure_protocol(protocol_cls, n=n, seeds=seeds)
+    """Measure every Table 1 row (plus the context baselines).
+
+    ``protocols`` restricts the matrix to a subset; ``jobs > 1`` measures
+    the rows across the :mod:`repro.exec` worker pool (each row is an
+    independent battery of seeded runs), merged back in row order.
+    """
+    if protocols is None:
+        protocols = list(TABLE1_PROTOCOLS)
+        if include_context:
+            protocols = protocols + CONTEXT_PROTOCOLS
+    if jobs <= 1:
+        return [
+            measure_protocol(protocol_cls, n=n, seeds=seeds)
+            for protocol_cls in protocols
+        ]
+
+    from repro.exec.runner import ParallelRunner
+    from repro.exec.tasks import Task
+
+    tasks = [
+        Task(
+            fn="repro.harness.comparison:exec_measure_protocol",
+            payload={
+                "protocol": registry_name(protocol_cls),
+                "n": n,
+                "seeds": list(seeds),
+            },
+            label=registry_name(protocol_cls),
+            cacheable=False,
+        )
         for protocol_cls in protocols
     ]
+    outcomes = ParallelRunner(jobs=jobs).map(tasks)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise RuntimeError(
+            f"table1 row {failed[0].label!r} failed:\n{failed[0].error}"
+        )
+    return [o.value for o in outcomes]

@@ -32,6 +32,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BenchMatrix",
     "BenchResult",
     "GaugeSeries",
     "Histogram",
@@ -42,14 +43,19 @@ __all__ = [
     "Tracer",
     "build_scenario",
     "run_bench",
+    "run_bench_matrix",
     "write_bench_json",
+    "write_bench_matrix_json",
     "write_jsonl",
 ]
 
 _LAZY = {
+    "BenchMatrix": "repro.obs.bench",
     "BenchResult": "repro.obs.bench",
     "run_bench": "repro.obs.bench",
+    "run_bench_matrix": "repro.obs.bench",
     "write_bench_json": "repro.obs.bench",
+    "write_bench_matrix_json": "repro.obs.bench",
     "SCENARIOS": "repro.obs.scenarios",
     "build_scenario": "repro.obs.scenarios",
 }

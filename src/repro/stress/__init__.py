@@ -22,6 +22,7 @@ from repro.stress.sweep import (
     CaseResult,
     SweepReport,
     dump_reproducer,
+    exception_line,
     load_reproducer,
     run_case,
     sweep,
@@ -40,6 +41,7 @@ __all__ = [
     "check_case",
     "shrink_case",
     "run_case",
+    "exception_line",
     "sweep",
     "CaseResult",
     "SweepReport",

@@ -19,7 +19,10 @@ import json
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.exec.cache import ResultCache
 
 from repro.harness.runner import run_experiment
 from repro.stress.generate import (
@@ -36,12 +39,19 @@ from repro.stress.shrink import shrink_case
 
 @dataclass(frozen=True)
 class CaseResult:
-    """One graded run."""
+    """One graded run.
+
+    ``trace_signature`` is the deterministic digest of the run's ground
+    truth trace (see :meth:`repro.sim.trace.SimTrace.signature`); the
+    parallel-vs-serial equivalence oracle compares it to prove that
+    ``jobs=N`` executed bit-identical simulations.
+    """
 
     case: StressCase
     violations: tuple[str, ...] = ()
     error: str | None = None
     shrunk: StressCase | None = None
+    trace_signature: str | None = None
 
     @property
     def failed(self) -> bool:
@@ -49,11 +59,17 @@ class CaseResult:
 
     def headline(self) -> str:
         if self.error is not None:
-            first = self.error.strip().splitlines()[-1]
-            return f"exception: {first}"
+            return f"exception: {exception_line(self.error)}"
         if self.violations:
             return self.violations[0]
         return "ok"
+
+
+def exception_line(error: str) -> str:
+    """The exception line of a formatted traceback (its last non-blank
+    line, e.g. ``"ValueError: boom"``) -- what a failure headline shows."""
+    lines = [line for line in error.strip().splitlines() if line.strip()]
+    return lines[-1].strip() if lines else "unknown error"
 
 
 def run_case(
@@ -65,9 +81,20 @@ def run_case(
         violations = check_case(
             result, case, theorem_max_states=theorem_max_states
         )
+        signature = result.trace.signature()
     except Exception:
         return CaseResult(case=case, error=traceback.format_exc(limit=12))
-    return CaseResult(case=case, violations=tuple(violations))
+    return CaseResult(
+        case=case, violations=tuple(violations), trace_signature=signature
+    )
+
+
+def exec_run_case(payload: dict) -> CaseResult:
+    """Worker entry point for the parallel engine (plain-data payload)."""
+    case = case_from_dict(payload["case"])
+    return run_case(
+        case, theorem_max_states=int(payload["theorem_max_states"])
+    )
 
 
 @dataclass
@@ -81,6 +108,8 @@ class SweepReport:
     crash_events: int = 0
     partition_events: int = 0
     duplicate_cases: int = 0
+    jobs: int = 1
+    cache_hits: int = 0
     failures: list[CaseResult] = field(default_factory=list)
     reproducers: list[Path] = field(default_factory=list)
 
@@ -92,11 +121,18 @@ class SweepReport:
         lines = [
             f"stress sweep: {self.cases_run}/{self.schedules} schedules "
             f"(profile={self.profile}, seeds {self.base_seed}.."
-            f"{self.base_seed + self.schedules - 1})",
+            f"{self.base_seed + self.schedules - 1}"
+            + (f", jobs={self.jobs}" if self.jobs > 1 else "")
+            + ")",
             f"  injected: {self.crash_events} crashes, "
             f"{self.partition_events} partitions, "
             f"{self.duplicate_cases} duplicate-injecting cases",
         ]
+        if self.cache_hits:
+            lines.append(
+                f"  cache: {self.cache_hits}/{self.schedules} "
+                "schedules served from the result cache"
+            )
         if self.ok:
             lines.append("  all invariants held")
         else:
@@ -119,45 +155,73 @@ def sweep(
     out_dir: Path | None = None,
     run: Callable[..., CaseResult] = run_case,
     progress: Callable[[int, CaseResult], None] | None = None,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> SweepReport:
     """Run ``schedules`` generated cases for seeds ``base_seed..``.
 
     ``run`` is injectable so tests can exercise the sweep/shrink/dump
     plumbing against synthetic failures without paying for simulations.
+
+    ``jobs > 1`` (or a ``cache``) routes execution through the
+    :mod:`repro.exec` engine: cases run across crash-isolated worker
+    processes and merge back in seed order, so the report is identical to
+    the serial one (the equivalence property test pins this).  Shrinking
+    stays serial per failure, in the parent, exactly as before -- except
+    for schedules that *crashed their worker*, which are never re-run
+    in-process.  ``progress`` is then called in completion order with the
+    completed-count as its index.
     """
     report = SweepReport(
-        profile=profile.name, base_seed=base_seed, schedules=schedules
+        profile=profile.name,
+        base_seed=base_seed,
+        schedules=schedules,
+        jobs=max(1, jobs),
     )
-    for index in range(schedules):
-        seed = base_seed + index
-        case = generate_case(seed, profile)
-        result = run(case, theorem_max_states=profile.theorem_max_states)
+
+    def account(case: StressCase) -> None:
         report.cases_run += 1
         report.crash_events += case.crash_count
         report.partition_events += case.partition_count
         if case.duplicate_rate:
             report.duplicate_cases += 1
-        if result.failed:
-            if shrink:
-                def fails(candidate: StressCase) -> bool:
-                    return run(
-                        candidate,
-                        theorem_max_states=profile.theorem_max_states,
-                    ).failed
 
-                shrunk = shrink_case(
-                    result.case, fails, max_attempts=max_shrink_attempts
+    def record_failure(result: CaseResult, *, shrinkable: bool) -> CaseResult:
+        if shrink and shrinkable:
+            def fails(candidate: StressCase) -> bool:
+                return run(
+                    candidate,
+                    theorem_max_states=profile.theorem_max_states,
+                ).failed
+
+            shrunk = shrink_case(
+                result.case, fails, max_attempts=max_shrink_attempts
+            )
+            if shrunk != result.case:
+                result = CaseResult(
+                    case=result.case,
+                    violations=result.violations,
+                    error=result.error,
+                    shrunk=shrunk,
+                    trace_signature=result.trace_signature,
                 )
-                if shrunk != result.case:
-                    result = CaseResult(
-                        case=result.case,
-                        violations=result.violations,
-                        error=result.error,
-                        shrunk=shrunk,
-                    )
-            report.failures.append(result)
-            if out_dir is not None:
-                report.reproducers.append(dump_reproducer(result, out_dir))
+        report.failures.append(result)
+        if out_dir is not None:
+            report.reproducers.append(dump_reproducer(result, out_dir))
+        return result
+
+    if jobs > 1 or cache is not None:
+        _parallel_sweep(report, profile, run, progress, fail_fast,
+                        record_failure, account, jobs, cache)
+        return report
+
+    for index in range(schedules):
+        seed = base_seed + index
+        case = generate_case(seed, profile)
+        result = run(case, theorem_max_states=profile.theorem_max_states)
+        account(case)
+        if result.failed:
+            result = record_failure(result, shrinkable=True)
             if fail_fast:
                 if progress is not None:
                     progress(index, result)
@@ -165,6 +229,71 @@ def sweep(
         if progress is not None:
             progress(index, result)
     return report
+
+
+def _parallel_sweep(
+    report: SweepReport,
+    profile: StressProfile,
+    run: Callable[..., CaseResult],
+    progress: Callable[[int, CaseResult], None] | None,
+    fail_fast: bool,
+    record_failure: Callable[..., CaseResult],
+    account: Callable[[StressCase], None],
+    jobs: int,
+    cache: "ResultCache | None",
+) -> None:
+    """Engine-backed sweep body: fan out, merge in seed order, then
+    shrink/dump failures serially exactly like the serial loop."""
+    from repro.exec.runner import ParallelRunner
+    from repro.exec.tasks import Task
+
+    if run is not run_case:
+        raise ValueError(
+            "parallel/cached sweeps ship the canonical run_case to "
+            "workers; an injected runner requires jobs=1 and no cache"
+        )
+    if fail_fast:
+        raise ValueError("fail_fast requires jobs=1 and no cache")
+
+    cases = [
+        generate_case(report.base_seed + index, profile)
+        for index in range(report.schedules)
+    ]
+    tasks = [
+        Task(
+            fn="repro.stress.sweep:exec_run_case",
+            payload={
+                "case": case_to_dict(case),
+                "theorem_max_states": profile.theorem_max_states,
+            },
+            label=f"seed {case.seed}",
+        )
+        for case in cases
+    ]
+
+    def on_done(done_count: int, outcome) -> None:
+        if progress is not None:
+            progress(done_count - 1, _outcome_to_result(outcome, cases))
+
+    runner = ParallelRunner(jobs=max(1, jobs), cache=cache)
+    outcomes = runner.map(tasks, progress=on_done)
+
+    for case, outcome in zip(cases, outcomes):
+        account(case)
+        if outcome.cached:
+            report.cache_hits += 1
+        result = _outcome_to_result(outcome, cases)
+        if result.failed:
+            # A schedule that killed its worker process must never be
+            # re-executed in the parent; everything else shrinks as usual.
+            record_failure(result, shrinkable=not outcome.crashed)
+
+
+def _outcome_to_result(outcome, cases: list[StressCase]) -> CaseResult:
+    """Convert an engine outcome back into the sweep's CaseResult."""
+    if outcome.ok:
+        return outcome.value
+    return CaseResult(case=cases[outcome.index], error=outcome.error)
 
 
 # ---------------------------------------------------------------------------

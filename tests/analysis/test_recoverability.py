@@ -62,3 +62,73 @@ def test_recovery_line_points_into_cut():
     for pid, uid in line.items():
         assert uid is not None
         assert uid in cut
+
+
+# ---------------------------------------------------------------------------
+# Hand-built ground truths: the algorithm itself, no simulator involved
+# ---------------------------------------------------------------------------
+from repro.analysis.causality import GroundTruth
+
+
+def chain(pid, length):
+    return [(pid, 0, i) for i in range(length)]
+
+
+def hand_built(n=2, lost=(), message_edges=()):
+    gt = GroundTruth(n=n)
+    for pid in range(n):
+        uids = chain(pid, 3)
+        gt.states.update(uids)
+        gt.local_edges.update(zip(uids, uids[1:]))
+        gt.surviving[pid] = uids
+    gt.lost.update(lost)
+    gt.message_edges.update(message_edges)
+    return gt
+
+
+def test_no_failures_everything_recoverable():
+    gt = hand_built()
+    assert maximum_recoverable_cut(gt) == gt.states
+
+
+def test_direct_dependent_of_lost_state_is_retracted():
+    # P0 loses (0,0,1) onward; P1's (1,0,1) was created by a message from
+    # the lost state, so it and its successor must fall out of the cut.
+    gt = hand_built(
+        lost={(0, 0, 1), (0, 0, 2)},
+        message_edges={((0, 0, 1), (1, 0, 1))},
+    )
+    assert maximum_recoverable_cut(gt) == {(0, 0, 0), (1, 0, 0)}
+
+
+def test_retraction_is_transitive_across_processes():
+    # Lost at P0 -> P1 depends on it -> P2 depends on P1: all retracted.
+    gt = GroundTruth(n=3)
+    for pid in range(3):
+        uids = chain(pid, 2)
+        gt.states.update(uids)
+        gt.local_edges.update(zip(uids, uids[1:]))
+        gt.surviving[pid] = uids
+    gt.lost.add((0, 0, 1))
+    gt.message_edges.add(((0, 0, 1), (1, 0, 1)))
+    gt.message_edges.add(((1, 0, 1), (2, 0, 1)))
+    cut = maximum_recoverable_cut(gt)
+    assert cut == {(0, 0, 0), (1, 0, 0), (2, 0, 0)}
+
+
+def test_independent_branch_is_untouched():
+    # A message from a state that is NOT lost must not drag anything out.
+    gt = hand_built(
+        lost={(0, 0, 2)},
+        message_edges={((0, 0, 0), (1, 0, 1))},
+    )
+    assert maximum_recoverable_cut(gt) == gt.states - {(0, 0, 2)}
+
+
+def test_recovery_line_is_maximal_per_process():
+    gt = hand_built(
+        lost={(0, 0, 1), (0, 0, 2)},
+        message_edges={((0, 0, 1), (1, 0, 2))},
+    )
+    line = recovery_line(gt)
+    assert line == {0: (0, 0, 0), 1: (1, 0, 1)}

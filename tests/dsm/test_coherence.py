@@ -181,3 +181,99 @@ class TestWorker:
         )
         assert c.sends == []
         assert worker.ops_sent == 1
+
+
+class TestFetchAddAtomicity:
+    def test_sequential_fetch_adds_never_share_a_base(self):
+        """Each fetch-add computes at commit time: results must be the
+        strictly increasing sequence 1, 2, never a repeated base."""
+        app = DSMApp(homes=1, pages=1)
+        c = ctx(0, n=8)
+        state = app.handle(HomeState(), DSMFetchAdd(0, 1, 2, 0), c)
+        (_, ack1), = payloads(c)
+        assert ack1 == DSMFetchAddAck(page=0, value=1, version=1, req=0)
+
+        # Worker 2 now holds the only copy; worker 3's fetch-add must wait
+        # for 2's invalidation ack and then see the committed base.
+        c = ctx(0, n=8)
+        state = app.handle(state, DSMFetchAdd(0, 1, 3, 1), c)
+        (inv_dst, inv), = payloads(c)
+        assert inv_dst == 2 and isinstance(inv, DSMInvalidate)
+
+        c = ctx(0, n=8)
+        state = app.handle(state, DSMInvAck(page=0, sender=2), c)
+        (_, ack2), = payloads(c)
+        assert ack2 == DSMFetchAddAck(page=0, value=2, version=2, req=1)
+        assert state.copyset(0) == (3,)
+
+    def test_write_log_records_both_commits_in_order(self):
+        app = DSMApp(homes=1, pages=1)
+        state = app.handle(HomeState(), DSMFetchAdd(0, 1, 2, 0), ctx(0, n=8))
+        state = app.handle(state, DSMFetchAdd(0, 1, 3, 1), ctx(0, n=8))
+        state = app.handle(state, DSMInvAck(page=0, sender=2), ctx(0, n=8))
+        assert [entry[1:3] for entry in state.write_log] == [
+            (1, 1), (2, 2)
+        ]
+
+
+class TestDrainOrdering:
+    def _pending_write_with_backlog(self, app):
+        """Reader 2 caches; writer 3 stalls on 2's ack; a fetch-add from 4
+        and a read from 5 pile up behind it."""
+        state = app.handle(HomeState(), DSMRead(0, 2, 0), ctx(0, n=8))
+        state = app.handle(state, DSMWrite(0, 100, 3, 1), ctx(0, n=8))
+        state = app.handle(state, DSMFetchAdd(0, 1, 4, 2), ctx(0, n=8))
+        state = app.handle(state, DSMRead(0, 5, 3), ctx(0, n=8))
+        return state
+
+    def test_backlog_is_queued_not_served(self):
+        app = DSMApp(homes=1, pages=1)
+        state = self._pending_write_with_backlog(app)
+        assert state.has_pending(0)
+        assert state.deferred_reads == ((0, 5, 3),)
+        # The fetch-add is queued behind the write, not started.
+        assert [op.kind for op in state.pending] == ["write", "fetchadd"]
+
+    def test_commit_serves_deferred_reads_then_next_op(self):
+        app = DSMApp(homes=1, pages=1)
+        state = self._pending_write_with_backlog(app)
+        c = ctx(0, n=8)
+        state = app.handle(state, DSMInvAck(page=0, sender=2), c)
+        sent = payloads(c)
+        # 1) the write commits and acks writer 3 with its value,
+        assert sent[0] == (
+            3, DSMWriteAck(page=0, value=100, version=1, req=1)
+        )
+        # 2) the deferred read is served the *committed* value -- the
+        #    stale pre-write copy can never leak past the commit,
+        assert sent[1] == (
+            5, DSMReadData(page=0, value=100, version=1, req=3)
+        )
+        # 3) only then does the queued fetch-add start, invalidating the
+        #    writer's and the reader's fresh copies.
+        inv_targets = sorted(
+            dst for dst, p in sent[2:] if isinstance(p, DSMInvalidate)
+        )
+        assert inv_targets == [3, 5]
+
+    def test_queued_op_commits_after_all_acks(self):
+        app = DSMApp(homes=1, pages=1)
+        state = self._pending_write_with_backlog(app)
+        state = app.handle(state, DSMInvAck(page=0, sender=2), ctx(0, n=8))
+        state = app.handle(state, DSMInvAck(page=0, sender=3), ctx(0, n=8))
+        c = ctx(0, n=8)
+        state = app.handle(state, DSMInvAck(page=0, sender=5), c)
+        (dst, ack), = payloads(c)
+        assert dst == 4
+        assert ack == DSMFetchAddAck(page=0, value=101, version=2, req=2)
+        assert not state.has_pending(0)
+
+
+class TestWorkerInvalidation:
+    def test_invalidate_drops_cache_and_acks_home(self):
+        app = DSMApp(homes=1, pages=1)
+        worker = WorkerState(cache=((0, (7, 1)),))
+        c = ctx(2, n=8)
+        worker = app.handle(worker, DSMInvalidate(page=0, home=0), c)
+        assert worker.cached(0) is None
+        assert payloads(c) == [(0, DSMInvAck(page=0, sender=2))]

@@ -1,0 +1,28 @@
+"""Worker-importable task callables for the engine tests.
+
+These live in a real module (not a test function) because the engine
+resolves tasks by ``"module:callable"`` reference inside the worker
+process.
+"""
+
+import os
+
+
+def square(payload):
+    return payload["x"] ** 2
+
+
+def boom(payload):
+    raise ValueError(f"boom {payload['x']}")
+
+
+def die(payload):
+    # Simulates a segfault/OOM-kill: the process vanishes without Python
+    # cleanup, so no exception and no report ever reach the parent.
+    os._exit(41)
+
+
+def die_if_victim(payload):
+    if payload["x"] == payload["victim"]:
+        os._exit(43)
+    return payload["x"] * 10

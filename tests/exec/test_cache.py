@@ -1,0 +1,55 @@
+"""Unit tests for the on-disk result cache."""
+
+from repro.exec.cache import ResultCache
+
+
+def test_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put("ab" + "0" * 30, {"answer": 42})
+    hit, value = cache.get("ab" + "0" * 30)
+    assert hit and value == {"answer": 42}
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_absent_key_is_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    hit, value = cache.get("ff" + "0" * 30)
+    assert not hit and value is None
+    assert cache.misses == 1
+
+
+def test_corrupt_entry_is_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" + "0" * 30
+    cache.put(key, [1, 2, 3])
+    # Truncate the pickle mid-stream.
+    path = cache._path(key)
+    path.write_bytes(path.read_bytes()[:3])
+    hit, value = cache.get(key)
+    assert not hit and value is None
+
+
+def test_overwrite_replaces_value(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ee" + "0" * 30
+    cache.put(key, "old")
+    cache.put(key, "new")
+    assert cache.get(key) == (True, "new")
+
+
+def test_len_and_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(5):
+        cache.put(f"{i:02d}" + "0" * 30, i)
+    assert len(cache) == 5
+    assert cache.clear() == 5
+    assert len(cache) == 0
+    assert cache.get("00" + "0" * 30) == (False, None)
+
+
+def test_distinct_keys_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("aa" + "1" * 30, "one")
+    cache.put("aa" + "2" * 30, "two")   # same fan-out directory
+    assert cache.get("aa" + "1" * 30) == (True, "one")
+    assert cache.get("aa" + "2" * 30) == (True, "two")

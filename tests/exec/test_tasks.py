@@ -1,0 +1,81 @@
+"""Unit tests for task descriptors, fn resolution, and cache keys."""
+
+import pytest
+
+from repro.exec.tasks import Task, code_fingerprint, resolve_fn, task_key
+
+
+class TestTask:
+    def test_fn_must_be_module_colon_callable(self):
+        with pytest.raises(ValueError):
+            Task(fn="no_colon_here")
+
+    def test_defaults(self):
+        task = Task(fn="m:f")
+        assert task.payload is None
+        assert task.cacheable
+        assert task.label == ""
+
+
+class TestResolveFn:
+    def test_resolves_module_level_callable(self):
+        fn = resolve_fn("tests.exec.helpers:square")
+        assert fn({"x": 7}) == 49
+
+    def test_resolves_dotted_attribute(self):
+        fn = resolve_fn("json:JSONEncoder.encode")
+        assert callable(fn)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_fn("json:__name__")
+
+    def test_missing_module_raises(self):
+        with pytest.raises(ModuleNotFoundError):
+            resolve_fn("definitely_not_a_module:f")
+
+
+class TestTaskKey:
+    def test_stable_across_calls(self):
+        task = Task(fn="m:f", payload={"a": 1, "b": [2, 3]})
+        assert task_key(task) == task_key(task)
+
+    def test_payload_key_order_irrelevant(self):
+        a = Task(fn="m:f", payload={"a": 1, "b": 2})
+        b = Task(fn="m:f", payload={"b": 2, "a": 1})
+        assert task_key(a) == task_key(b)
+
+    def test_distinct_payloads_distinct_keys(self):
+        a = Task(fn="m:f", payload={"x": 1})
+        b = Task(fn="m:f", payload={"x": 2})
+        assert task_key(a) != task_key(b)
+
+    def test_distinct_fns_distinct_keys(self):
+        a = Task(fn="m:f", payload={"x": 1})
+        b = Task(fn="m:g", payload={"x": 1})
+        assert task_key(a) != task_key(b)
+
+    def test_label_does_not_affect_key(self):
+        a = Task(fn="m:f", payload=1, label="first")
+        b = Task(fn="m:f", payload=1, label="second")
+        assert task_key(a) == task_key(b)
+
+    def test_unserialisable_payload_rejected(self):
+        with pytest.raises(TypeError):
+            task_key(Task(fn="m:f", payload={"bad": object()}))
+
+
+def test_code_fingerprint_is_stable_hex():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    int(fp, 16)   # hex digest
+    assert len(fp) == 32
+
+
+def test_key_embeds_code_fingerprint():
+    # The key must change whenever the fingerprint changes; simulate by
+    # clearing the lru_cache and checking the key recomputes consistently.
+    task = Task(fn="m:f", payload=5)
+    before = task_key(task)
+    code_fingerprint.cache_clear()
+    assert task_key(task) == before

@@ -69,3 +69,12 @@ class TestReporting:
         rendered = render_paper_comparison(rows)
         assert "Pessimistic" not in rendered
         assert "Damani-Garg" in rendered
+
+
+def test_parallel_table1_matches_serial():
+    from repro.harness.comparison import TABLE1_PROTOCOLS, run_table1
+
+    protocols = TABLE1_PROTOCOLS[:2]
+    serial = run_table1(protocols=protocols, seeds=(0,), jobs=1)
+    parallel = run_table1(protocols=protocols, seeds=(0,), jobs=2)
+    assert serial == parallel

@@ -108,3 +108,46 @@ def test_run_bench_repeats_are_deterministic():
     assert a.trace_signature == b.trace_signature
     assert a.piggyback_bytes_total == b.piggyback_bytes_total
     assert a.peak_history_records == b.peak_history_records
+
+
+# ---------------------------------------------------------------------------
+# Parallel repeats and the multi-scenario matrix
+# ---------------------------------------------------------------------------
+def test_parallel_repeats_match_serial():
+    from repro.obs import run_bench
+
+    serial = run_bench("quickstart", repeats=2)
+    parallel = run_bench("quickstart", repeats=2, jobs=2)
+    assert serial.trace_signature == parallel.trace_signature
+    assert serial.events_fired == parallel.events_fired
+    assert serial.peak_history_records == parallel.peak_history_records
+    assert serial.overhead == parallel.overhead
+
+
+def test_bench_matrix_merges_scenarios(tmp_path):
+    from repro.obs import run_bench_matrix, write_bench_matrix_json
+
+    matrix = run_bench_matrix(
+        ["quickstart", "failure-free"], repeats=1, jobs=2
+    )
+    assert [b.scenario for b in matrix.results] == [
+        "quickstart", "failure-free"
+    ]
+    path = write_bench_matrix_json(matrix, str(tmp_path / "matrix.json"))
+    data = json.loads(open(path).read())
+    assert data["format"] == "repro-bench-matrix-v1"
+    assert set(data["scenarios"]) == {"quickstart", "failure-free"}
+    for entry in data["scenarios"].values():
+        # Each cell stays BENCH_obs.json-compatible.
+        assert entry["format"] == "repro-bench-v1"
+        assert entry["trace_signature"]
+    assert "2 scenario(s)" in matrix.summary()
+
+
+def test_bench_matrix_rejects_unknown_scenario():
+    import pytest
+
+    from repro.obs import run_bench_matrix
+
+    with pytest.raises(KeyError):
+        run_bench_matrix(["no-such-scenario"], repeats=1)

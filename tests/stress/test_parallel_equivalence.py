@@ -1,0 +1,76 @@
+"""The oracle that keeps the engine honest: jobs>1 == jobs=1, bit for bit.
+
+Every per-seed :class:`CaseResult` -- violations, error text, shrunk case,
+and crucially the ``trace_signature`` digest of the whole simulation --
+must come back identical whether the block ran serially or across worker
+processes.
+"""
+
+import pytest
+
+from repro.exec import ResultCache
+from repro.stress import PROFILES, sweep
+
+QUICK = PROFILES["quick"]
+SCHEDULES = 12
+
+
+def collect(schedules, **kwargs):
+    """Run a sweep capturing every per-seed result, keyed by seed."""
+    results = {}
+
+    def progress(_index, result):
+        results[result.case.seed] = result
+
+    report = sweep(
+        schedules, profile=QUICK, shrink=False, progress=progress, **kwargs
+    )
+    return report, [results[seed] for seed in sorted(results)]
+
+
+def test_parallel_results_identical_to_serial():
+    serial_report, serial = collect(SCHEDULES)
+    parallel_report, parallel = collect(SCHEDULES, jobs=2)
+
+    assert len(serial) == len(parallel) == SCHEDULES
+    for s, p in zip(serial, parallel):
+        assert s == p            # full dataclass equality ...
+        assert s.trace_signature is not None
+        assert s.trace_signature == p.trace_signature   # ... digest included
+
+    assert serial_report.failures == parallel_report.failures
+    assert serial_report.cases_run == parallel_report.cases_run
+    assert serial_report.crash_events == parallel_report.crash_events
+    assert serial_report.partition_events == parallel_report.partition_events
+
+
+def test_cached_rerun_identical_to_fresh(tmp_path):
+    cache = ResultCache(tmp_path)
+    fresh_report, fresh = collect(6, jobs=2, cache=cache)
+    cached_report, cached = collect(6, jobs=2, cache=cache)
+    assert fresh == cached
+    assert fresh_report.cache_hits == 0
+    assert cached_report.cache_hits == 6
+
+
+def test_parallel_rejects_injected_runner():
+    with pytest.raises(ValueError):
+        sweep(2, profile=QUICK, jobs=2, run=lambda case, **kw: None)
+
+
+def test_parallel_rejects_fail_fast():
+    with pytest.raises(ValueError):
+        sweep(2, profile=QUICK, jobs=2, fail_fast=True)
+
+
+def test_reproducers_match_modulo_path(tmp_path):
+    """A failing schedule dumps the same reproducer JSON either way."""
+    from repro.stress.sweep import CaseResult, dump_reproducer
+    from repro.stress.generate import generate_case
+
+    case = generate_case(99, QUICK)
+    result = CaseResult(case=case, violations=("synthetic: boom",))
+    serial_path = dump_reproducer(result, tmp_path / "serial")
+    parallel_path = dump_reproducer(result, tmp_path / "parallel")
+    assert serial_path.name == parallel_path.name
+    assert serial_path.read_text() == parallel_path.read_text()

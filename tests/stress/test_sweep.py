@@ -6,6 +6,7 @@ shrink hookup, fail-fast, and dump/load paths can be pinned exactly.
 """
 
 from repro.stress import (
+    exception_line,
     CaseResult,
     PROFILES,
     dump_reproducer,
@@ -148,3 +149,37 @@ def test_exceptions_are_failures_not_crashes():
     (failure,) = report.failures
     assert failure.failed
     assert "exception" in failure.headline()
+
+
+# ---------------------------------------------------------------------------
+# headline() format
+# ---------------------------------------------------------------------------
+def test_headline_reports_the_exception_line():
+    """Lock the format: the headline names the exception itself (the last
+    non-blank line of the traceback), never an intermediate frame."""
+    case = generate_case(0, QUICK)
+    error = (
+        "Traceback (most recent call last):\n"
+        '  File "repro/sim/kernel.py", line 10, in fire\n'
+        "    raise ValueError('clock went backwards')\n"
+        "ValueError: clock went backwards\n"
+        "\n"
+    )
+    result = CaseResult(case=case, error=error)
+    assert result.headline() == "exception: ValueError: clock went backwards"
+
+
+def test_headline_prefers_violations_over_ok():
+    case = generate_case(0, QUICK)
+    assert CaseResult(case=case).headline() == "ok"
+    assert (
+        CaseResult(case=case, violations=("recovery: x", "theorem1: y"))
+        .headline()
+        == "recovery: x"
+    )
+
+
+def test_exception_line_handles_degenerate_tracebacks():
+    assert exception_line("KeyError: 'frontier'") == "KeyError: 'frontier'"
+    assert exception_line("  \n\n") == "unknown error"
+    assert exception_line("") == "unknown error"

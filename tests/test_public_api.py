@@ -35,6 +35,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.harness",
     "repro.stress",
+    "repro.exec",
     "repro.testing",
 ]
 
@@ -47,8 +48,9 @@ def test_module_imports_and_documents_itself(module_name):
 
 @pytest.mark.parametrize(
     "module_name",
-    ["repro.analysis", "repro.apps", "repro.harness", "repro.protocols",
-     "repro.sim", "repro.storage", "repro.dsm", "repro.core"],
+    ["repro.analysis", "repro.apps", "repro.exec", "repro.harness",
+     "repro.protocols", "repro.sim", "repro.storage", "repro.dsm",
+     "repro.core"],
 )
 def test_package_all_is_accurate(module_name):
     module = importlib.import_module(module_name)

@@ -33,6 +33,15 @@ Checking it against the ground truth::
     from repro.analysis import check_recovery
     verdict = check_recovery(result)
     assert verdict.ok, verdict.violations
+
+Engines
+-------
+
+Protocols are written against :class:`~repro.runtime.env.RuntimeEnv`, the
+narrow engine interface.  Two engines implement it: :class:`SimEnv`
+(deterministic discrete-event simulation, what ``run_experiment`` uses)
+and :class:`LiveEnv` (asyncio TCP cluster of real OS processes; see
+``python -m repro live`` and ``docs/API.md``).
 """
 
 from repro.core import (
@@ -48,18 +57,35 @@ from repro.core import (
 from repro.harness import ExperimentResult, ExperimentSpec, run_experiment
 from repro.obs import NullTracer, Tracer
 from repro.protocols import BaseRecoveryProcess, ProtocolConfig, ProtocolStats
-from repro.sim import (
+from repro.runtime import (
     Application,
+    EventKind,
+    NetworkMessage,
+    ProcessContext,
+    RuntimeEnv,
+    SimTrace,
+    TimerHandle,
+    TraceEvent,
+)
+from repro.sim import (
     CrashPlan,
     DeliveryOrder,
     FailureInjector,
     Network,
     PartitionPlan,
-    ProcessContext,
     ProcessHost,
-    SimTrace,
+    SimEnv,
     Simulator,
 )
+
+
+def __getattr__(name: str):
+    # repro.live pulls in asyncio machinery; load it only when asked for.
+    if name == "LiveEnv":
+        from repro.live import LiveEnv
+
+        return LiveEnv
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -71,24 +97,31 @@ __all__ = [
     "CrashPlan",
     "DamaniGargProcess",
     "DeliveryOrder",
+    "EventKind",
     "ExperimentResult",
     "ExperimentSpec",
     "FailureInjector",
     "FaultTolerantVectorClock",
     "History",
     "HistoryRecord",
+    "LiveEnv",
     "Network",
+    "NetworkMessage",
+    "NullTracer",
     "PartitionPlan",
     "ProcessContext",
     "ProcessHost",
-    "NullTracer",
     "ProtocolConfig",
     "ProtocolStats",
     "RecordKind",
-    "Tracer",
     "RecoveryToken",
+    "RuntimeEnv",
+    "SimEnv",
     "SimTrace",
     "Simulator",
+    "TimerHandle",
+    "TraceEvent",
+    "Tracer",
     "run_experiment",
     "__version__",
 ]

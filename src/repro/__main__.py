@@ -346,6 +346,75 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """Run a real asyncio/TCP cluster with a SIGKILL crash; grade it."""
+    import tempfile
+
+    from repro.live import (
+        LiveClusterSpec,
+        LiveCrashPlan,
+        check_live_run,
+        run_cluster,
+    )
+
+    crashes = []
+    if not args.no_crash:
+        crashes.append(
+            LiveCrashPlan(
+                pid=args.crash_pid,
+                at=args.crash_at,
+                downtime=args.downtime,
+            )
+        )
+    spec = LiveClusterSpec(
+        n=args.n,
+        jobs=args.jobs,
+        run_seconds=args.run_seconds,
+        crashes=crashes,
+    )
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-live-")
+    print(
+        f"starting {spec.n}-process live cluster "
+        f"({spec.jobs} jobs, {len(crashes)} crash(es)) in {workdir}"
+    )
+    result = run_cluster(spec, workdir)
+    for pid, kill_time in result.kills:
+        print(f"  SIGKILL -> p{pid} at t={kill_time:.3f}s")
+    verdict = check_live_run(result.trace, n=spec.n, jobs=spec.jobs)
+    print(f"trace events  : {len(result.trace)}")
+    print(f"deliveries    : {result.total_delivered}")
+    print(f"wall time     : {result.wall_seconds:.2f}s")
+    print(verdict.summary())
+    return 0 if verdict.ok else 1
+
+
+def cmd_live_bench(args: argparse.Namespace) -> int:
+    """Live throughput/latency benchmark; emit BENCH_live.json."""
+    import tempfile
+
+    from repro.live.bench import write_live_bench
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-live-bench-")
+    payload = write_live_bench(
+        args.out,
+        workdir,
+        n=args.n,
+        jobs=args.jobs,
+        run_seconds=args.run_seconds,
+    )
+    for name, scenario in payload["scenarios"].items():
+        print(f"{name}: {scenario['verdict']}")
+        print(
+            f"  {scenario['app_deliveries']} deliveries in "
+            f"{scenario['wall_seconds']}s "
+            f"({scenario['deliveries_per_second']}/s)"
+        )
+    print(f"written: {args.out}")
+    return 0 if all(
+        s["ok"] for s in payload["scenarios"].values()
+    ) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -461,6 +530,32 @@ def build_parser() -> argparse.ArgumentParser:
     overhead.add_argument("--crash", action="append", default=[],
                           metavar="TIME:PID[:DOWN]")
     overhead.set_defaults(func=cmd_overhead)
+
+    live = sub.add_parser(
+        "live",
+        help="run a real asyncio/TCP cluster with SIGKILL crashes",
+    )
+    live.add_argument("-n", type=int, default=4)
+    live.add_argument("--jobs", type=int, default=32)
+    live.add_argument("--run-seconds", type=float, default=6.0)
+    live.add_argument("--crash-pid", type=int, default=1)
+    live.add_argument("--crash-at", type=float, default=0.25)
+    live.add_argument("--downtime", type=float, default=1.0)
+    live.add_argument("--no-crash", action="store_true")
+    live.add_argument("--workdir", default=None,
+                      help="keep run artifacts here (default: temp dir)")
+    live.set_defaults(func=cmd_live)
+
+    live_bench = sub.add_parser(
+        "live-bench",
+        help="live throughput/latency benchmark (BENCH_live.json)",
+    )
+    live_bench.add_argument("-n", type=int, default=4)
+    live_bench.add_argument("--jobs", type=int, default=64)
+    live_bench.add_argument("--run-seconds", type=float, default=6.0)
+    live_bench.add_argument("--out", default="BENCH_live.json")
+    live_bench.add_argument("--workdir", default=None)
+    live_bench.set_defaults(func=cmd_live_bench)
     return parser
 
 

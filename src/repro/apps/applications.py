@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any
 
-from repro.sim.process import ProcessContext
+from repro.runtime.app import ProcessContext
 
 _MASK64 = (1 << 64) - 1
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.apps.applications import mix64
-from repro.sim.process import ProcessContext
+from repro.runtime.app import ProcessContext
 
 
 # ---------------------------------------------------------------------------

@@ -32,9 +32,9 @@ the vector to every live process.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.ftvc import ClockEntry
-from repro.sim.kernel import Simulator
 
 
 @dataclass
@@ -59,11 +59,14 @@ class StabilityCoordinator:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Any,
         protocols,
         *,
         interval: float = 5.0,
     ) -> None:
+        # ``sim`` is any scheduler with ``schedule(delay, cb, label=)`` --
+        # the simulator kernel or a live event loop adapter.  Duck-typed so
+        # the core layer stays free of engine imports.
         self.sim = sim
         self.protocols = list(protocols)
         self.interval = interval
@@ -84,11 +87,11 @@ class StabilityCoordinator:
     def sweep_now(self) -> dict[int, ClockEntry]:
         """One synchronous sweep; returns the frontier used (for tests)."""
         for protocol in self.protocols:
-            if protocol.host.alive:
+            if protocol.env.alive:
                 self._cached[protocol.pid] = protocol.stable_frontier()
         frontier = dict(self._cached)
         for protocol in self.protocols:
-            if protocol.host.alive:
+            if protocol.env.alive:
                 committed, ckpts, entries = protocol.apply_stability(frontier)
                 self.stats.outputs_committed += committed
                 self.stats.checkpoints_collected += ckpts

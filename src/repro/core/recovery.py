@@ -50,9 +50,10 @@ from repro.core.ftvc import ClockEntry, FaultTolerantVectorClock
 from repro.core.history import History
 from repro.core.tokens import RecoveryToken
 from repro.protocols.base import BaseRecoveryProcess, ProtocolConfig
-from repro.sim.network import NetworkMessage
-from repro.sim.process import Application, ProcessHost
-from repro.sim.trace import EventKind
+from repro.runtime.app import Application
+from repro.runtime.env import RuntimeEnv
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -94,11 +95,11 @@ class DamaniGargProcess(BaseRecoveryProcess):
 
     def __init__(
         self,
-        host: ProcessHost,
+        env: RuntimeEnv,
         app: Application,
         config: ProtocolConfig | None = None,
     ) -> None:
-        super().__init__(host, app, config)
+        super().__init__(env, app, config)
         self.clock = FaultTolerantVectorClock.initial(self.pid, self.n)
         self.history = History(self.pid, self.n)
         # Volatile state, all lost in a crash:
@@ -151,7 +152,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self._pending_outputs.clear()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.CUSTOM,
                 self.pid,
                 what="volatile_lost",
@@ -164,7 +165,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.RESTORE,
                 self.pid,
                 ckpt_uid=ckpt.snapshot["uid"],
@@ -204,7 +205,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             full_clock=self.clock if self.config.retransmit_on_token else None,
         )
         self.storage.log_token(token)
-        self.host.broadcast(token, kind="token")
+        self.env.broadcast(token, kind="token")
         self.stats.tokens_sent += self.n - 1
         self.stats.control_sent += self.n - 1
         self.obs.counter("dg.tokens_broadcast", self.n - 1)
@@ -218,7 +219,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.TOKEN_SEND,
                 self.pid,
                 version=failed_version,
@@ -227,12 +228,12 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self.clock = self.clock.restart(self.pid)
         self.history.observe_token(token)
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, self.clock[self.pid].version
+            self.env.crash_count, self.clock[self.pid].version
         )
         self.clock_by_uid[self.executor.current_uid] = self.clock
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.RESTART,
                 self.pid,
                 failed_version=failed_version,
@@ -276,7 +277,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self.obs.counter("dg.obsolete_discarded")
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.DISCARD,
                     self.pid,
                     msg_id=msg.msg_id,
@@ -294,7 +295,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 )
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.POSTPONE,
                     self.pid,
                     msg_id=msg.msg_id,
@@ -306,7 +307,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self.obs.counter("dg.duplicates_discarded")
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.DISCARD,
                     self.pid,
                     msg_id=msg.msg_id,
@@ -397,7 +398,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 )
             )
         if transmit:
-            sent = self.host.send(dst, envelope, kind="app")
+            sent = self.env.send(dst, envelope, kind="app")
             self.stats.app_sent += 1
             self.stats.piggyback_entries += envelope.clock.piggyback_entries()
             bits = envelope.clock.wire_size_bits()
@@ -405,7 +406,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self.obs.counter("dg.piggyback_bytes", bits / 8.0)
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.SEND,
                     self.pid,
                     msg_id=sent.msg_id,
@@ -425,7 +426,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self.obs.counter("dg.tokens_received")
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.TOKEN_DELIVER,
                 self.pid,
                 origin=token.origin,
@@ -508,7 +509,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.RESTORE,
                 self.pid,
                 ckpt_uid=ckpt.snapshot["uid"],
@@ -571,7 +572,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self._sample_obs_gauges()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.ROLLBACK,
                 self.pid,
                 origin=token.origin,
@@ -632,7 +633,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             if entry.dst != token.origin:
                 continue
             if not (token.full_clock <= entry.envelope.clock):
-                sent = self.host.send(entry.dst, entry.envelope, kind="app")
+                sent = self.env.send(entry.dst, entry.envelope, kind="app")
                 self.stats.retransmitted += 1
                 self.stats.app_sent += 1
                 self.stats.piggyback_entries += (
@@ -644,7 +645,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 self.obs.counter("dg.piggyback_bytes", bits / 8.0)
                 if self.trace is not None:
                     self.trace.record(
-                        self.sim.now,
+                        self.env.now,
                         EventKind.SEND,
                         self.pid,
                         msg_id=sent.msg_id,
@@ -702,7 +703,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self._pending_outputs.append((key, self.clock, record.value))
             if not replay and self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.OUTPUT,
                     self.pid,
                     value=record.value,
@@ -752,11 +753,11 @@ class DamaniGargProcess(BaseRecoveryProcess):
             for key, clock, value in self._pending_outputs:
                 if self._clock_permanently_safe(clock, frontier):
                     committed.add(key)
-                    self.outputs.append((self.sim.now, value))
+                    self.outputs.append((self.env.now, value))
                     committed_count += 1
                     if self.trace is not None:
                         self.trace.record(
-                            self.sim.now,
+                            self.env.now,
                             EventKind.OUTPUT,
                             self.pid,
                             value=value,

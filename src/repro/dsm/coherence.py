@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.apps.applications import mix64
-from repro.sim.process import ProcessContext
+from repro.runtime.app import ProcessContext
 
 
 # ---------------------------------------------------------------------------

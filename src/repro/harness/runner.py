@@ -27,12 +27,13 @@ from repro.sim.network import (
     Network,
     UniformLatency,
 )
+from repro.runtime.env import RuntimeEnv
 from repro.sim.process import Application, ProcessHost
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import SimTrace
 
 ProtocolFactory = Callable[
-    [ProcessHost, Application, ProtocolConfig], BaseRecoveryProcess
+    [RuntimeEnv, Application, ProtocolConfig], BaseRecoveryProcess
 ]
 
 
@@ -127,7 +128,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     )
     hosts = [ProcessHost(pid, sim, network, trace) for pid in range(spec.n)]
     protocols = [
-        spec.protocol(host, spec.app, spec.config) for host in hosts
+        spec.protocol(host.runtime_env(), spec.app, spec.config)
+        for host in hosts
     ]
     if spec.record_states:
         for protocol in protocols:

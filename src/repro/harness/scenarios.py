@@ -91,7 +91,9 @@ def _build(
         trace=trace,
     )
     hosts = [ProcessHost(pid, sim, network, trace) for pid in range(n)]
-    protocols = [protocol_cls(host, app, config) for host in hosts]
+    protocols = [
+        protocol_cls(host.runtime_env(), app, config) for host in hosts
+    ]
     return sim, network, trace, hosts, protocols
 
 

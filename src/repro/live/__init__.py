@@ -1,0 +1,41 @@
+"""Live asyncio cluster runtime.
+
+Runs the same protocol objects the simulator runs -- unchanged, through
+the :class:`~repro.runtime.env.RuntimeEnv` interface -- as real OS
+processes talking over TCP, with file-backed stable storage and real
+SIGKILL crashes:
+
+- :mod:`repro.live.codec` / :mod:`repro.live.framing` -- the wire format
+  (tagged JSON in length-prefixed frames);
+- :mod:`repro.live.storage` -- :class:`FileStableStorage`, persisting the
+  durable half of a process's state through ``os.replace``;
+- :mod:`repro.live.env` -- :class:`LiveEnv`, the event-loop-backed
+  environment implementation, and the JSONL trace writer;
+- :mod:`repro.live.transport` -- the reconnecting full-mesh transport
+  with per-link sequencing and a durable outbox (reliable channels
+  across crashes);
+- :mod:`repro.live.node` -- one cluster member (``python -m
+  repro.live.node --config ...``);
+- :mod:`repro.live.supervisor` -- spawns the cluster, injects SIGKILL
+  crashes per a :class:`LiveCrashPlan`, merges the trace;
+- :mod:`repro.live.verify` -- recovery/no-orphan verdict over the merged
+  trace;
+- :mod:`repro.live.bench` -- throughput/latency benchmark
+  (``BENCH_live.json``).
+"""
+
+from repro.live.env import LiveEnv, LiveTrace
+from repro.live.storage import FileStableStorage
+from repro.live.supervisor import LiveClusterSpec, LiveCrashPlan, run_cluster
+from repro.live.verify import LiveVerdict, check_live_run
+
+__all__ = [
+    "FileStableStorage",
+    "LiveClusterSpec",
+    "LiveCrashPlan",
+    "LiveEnv",
+    "LiveTrace",
+    "LiveVerdict",
+    "check_live_run",
+    "run_cluster",
+]

@@ -1,0 +1,122 @@
+"""Tagged-JSON codec for the live wire format.
+
+Everything a protocol puts on the wire (or in a trace field) is built from
+JSON scalars, lists, dicts, tuples, sets, frozen dataclasses and the
+:class:`~repro.core.ftvc.FaultTolerantVectorClock`.  The codec encodes
+those losslessly into plain JSON with ``"__tag__"``-style markers and
+decodes them back into the original types.
+
+Security note: decoding instantiates classes by name, so the decoder only
+accepts dataclasses defined in modules under the ``repro.`` package.  A
+frame naming anything else is rejected -- the live cluster should never
+execute a constructor picked by the network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+from typing import Any
+
+from repro.core.ftvc import FaultTolerantVectorClock
+from repro.runtime.message import NetworkMessage
+
+#: Module prefix decodable dataclasses must live under.
+TRUSTED_PREFIX = "repro."
+
+
+class CodecError(ValueError):
+    """Raised for unencodable values and untrusted or malformed frames."""
+
+
+def encode(value: Any) -> Any:
+    """Lower ``value`` to a JSON-representable structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, FaultTolerantVectorClock):
+        return {"__ftvc__": [list(pair) for pair in value.pairs()]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        tag = "__frozenset__" if isinstance(value, frozenset) else "__set__"
+        # Sort by the JSON rendering for a deterministic wire image.
+        items = sorted(
+            (encode(item) for item in value),
+            key=lambda e: json.dumps(e, sort_keys=True),
+        )
+        return {tag: items}
+    if isinstance(value, dict):
+        return {
+            "__dict__": [[encode(k), encode(v)] for k, v in value.items()]
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        if not cls.__module__.startswith(TRUSTED_PREFIX):
+            raise CodecError(
+                f"refusing to encode non-repro dataclass {cls.__module__}."
+                f"{cls.__qualname__}"
+            )
+        return {
+            "__dc__": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {
+                f.name: encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    raise CodecError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def decode(obj: Any) -> Any:
+    """Invert :func:`encode`."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [decode(item) for item in obj]
+    if isinstance(obj, dict):
+        if "__ftvc__" in obj:
+            return FaultTolerantVectorClock.of(
+                tuple(pair) for pair in obj["__ftvc__"]
+            )
+        if "__tuple__" in obj:
+            return tuple(decode(item) for item in obj["__tuple__"])
+        if "__set__" in obj:
+            return {decode(item) for item in obj["__set__"]}
+        if "__frozenset__" in obj:
+            return frozenset(decode(item) for item in obj["__frozenset__"])
+        if "__dict__" in obj:
+            return {decode(k): decode(v) for k, v in obj["__dict__"]}
+        if "__dc__" in obj:
+            return _decode_dataclass(obj)
+        raise CodecError(f"unrecognised wire object: {sorted(obj)!r}")
+    raise CodecError(f"cannot decode {type(obj).__name__}")
+
+
+def _decode_dataclass(obj: dict) -> Any:
+    path = obj["__dc__"]
+    module_name, _, qualname = path.partition(":")
+    if not module_name.startswith(TRUSTED_PREFIX) or "." in qualname:
+        raise CodecError(f"untrusted dataclass on the wire: {path!r}")
+    module = importlib.import_module(module_name)
+    cls = getattr(module, qualname, None)
+    if cls is None or not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{path!r} is not a known dataclass")
+    fields = {k: decode(v) for k, v in obj["fields"].items()}
+    return cls(**fields)
+
+
+# ----------------------------------------------------------------------
+# Message envelopes
+# ----------------------------------------------------------------------
+def dump_message(msg: NetworkMessage) -> bytes:
+    """Serialize one :class:`NetworkMessage` for the wire."""
+    return json.dumps(encode(msg), separators=(",", ":")).encode("utf-8")
+
+
+def load_message(data: bytes) -> NetworkMessage:
+    msg = decode(json.loads(data.decode("utf-8")))
+    if not isinstance(msg, NetworkMessage):
+        raise CodecError(f"frame does not hold a NetworkMessage: {msg!r}")
+    return msg

@@ -1,0 +1,232 @@
+"""The live (asyncio) implementation of :class:`~repro.runtime.env.RuntimeEnv`.
+
+One :class:`LiveEnv` backs one OS process in a live cluster.  The clock is
+wall time relative to a cluster-wide epoch, timers are event-loop timers,
+sends go through the reconnecting mesh transport, and the trace is an
+append-only JSONL file the supervisor later merges across processes.
+
+``alive`` is always true here: a live process that crashed is not running
+this code.  Downtime is real -- the supervisor SIGKILLs the process and
+starts a fresh one, which resumes from :class:`FileStableStorage`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Callable, IO
+
+from repro.live import codec
+from repro.runtime.env import RuntimeEnv, TimerHandle
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind, SimTrace
+
+
+class LiveTrace:
+    """JSONL ground-truth trace writer with the :class:`SimTrace` record API.
+
+    Each line is ``{"t": float, "kind": str, "pid": int, "fields": {...}}``
+    with fields passed through the wire codec (clocks and dataclasses
+    survive the round trip).  Lines are flushed per record so a SIGKILL
+    loses at most the line being written.
+    """
+
+    def __init__(self, fh: IO[str]) -> None:
+        self._fh = fh
+        self.records_written = 0
+
+    def record(
+        self, time_: float, kind: EventKind, pid: int, **fields: Any
+    ) -> None:
+        line = {
+            "t": time_,
+            "kind": kind.value,
+            "pid": pid,
+            "fields": {k: codec.encode(v) for k, v in fields.items()},
+        }
+        self._fh.write(json.dumps(line, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def merge_traces(paths: list[str]) -> SimTrace:
+    """Merge per-process JSONL trace files into one :class:`SimTrace`.
+
+    Events are ordered by timestamp, with the per-file order breaking ties
+    (timestamps come from one wall clock per machine, so cross-process
+    ties are rare and their order is not load-bearing for the oracles).
+    """
+    rows: list[tuple[float, int, int, dict]] = []
+    for file_index, path in enumerate(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_index, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                rows.append(
+                    (json.loads(line)["t"], file_index, line_index,
+                     json.loads(line))
+                )
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    trace = SimTrace()
+    for _, _, _, row in rows:
+        trace.record(
+            row["t"],
+            EventKind(row["kind"]),
+            row["pid"],
+            **{k: codec.decode(v) for k, v in row["fields"].items()},
+        )
+    return trace
+
+
+class _LiveTimerHandle:
+    """Event-loop timer with the :class:`TimerHandle` surface."""
+
+    __slots__ = ("_handle", "_time", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle, time_: float) -> None:
+        self._handle = handle
+        self._time = time_
+        self._cancelled = False
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+
+class LiveEnv(RuntimeEnv):
+    """One live OS process's runtime environment."""
+
+    def __init__(
+        self,
+        *,
+        pid: int,
+        n: int,
+        storage: Any,
+        transport: Any,
+        epoch: float,
+        crash_count: int = 0,
+        trace: LiveTrace | None = None,
+        tracer: Any | None = None,
+        loop: asyncio.AbstractEventLoop | None = None,
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self.storage = storage
+        self.transport = transport
+        self.epoch = epoch
+        self.trace = trace
+        self._tracer = tracer
+        self._crash_count = crash_count
+        self._loop = loop
+        self._msg_counter = 0
+
+    # ------------------------------------------------------------------
+    # Clock, liveness, observability
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return time.time() - self.epoch
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+    @property
+    def crash_count(self) -> int:
+        return self._crash_count
+
+    @property
+    def tracer(self) -> Any | None:
+        return self._tracer
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def _next_msg_id(self) -> int:
+        # Unique across processes and incarnations: pid and boot number in
+        # the high bits, a local counter below.
+        self._msg_counter += 1
+        return (
+            (self.pid << 48)
+            | ((self._crash_count & 0xFFFF) << 32)
+            | self._msg_counter
+        )
+
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        *,
+        kind: str = "app",
+        latency: float | None = None,
+    ) -> NetworkMessage:
+        # ``latency`` is a simulation-only knob; real links have real
+        # latency.
+        msg = NetworkMessage(
+            msg_id=self._next_msg_id(),
+            src=self.pid,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            send_time=self.now,
+        )
+        self.transport.send(dst, msg)
+        return msg
+
+    def broadcast(
+        self,
+        payload: Any,
+        *,
+        kind: str = "token",
+        include_self: bool = False,
+    ) -> list[NetworkMessage]:
+        sent = []
+        for dst in range(self.n):
+            if dst == self.pid and not include_self:
+                continue
+            sent.append(self.send(dst, payload, kind=kind))
+        return sent
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> TimerHandle:
+        # ``priority`` orders same-instant events in the simulator; real
+        # time has no simultaneous instants, so it is ignored here.
+        delay = max(0.0, delay)
+        loop = (
+            self._loop if self._loop is not None
+            else asyncio.get_running_loop()
+        )
+        handle = loop.call_later(delay, callback)
+        return _LiveTimerHandle(handle, self.now + delay)
+
+    # suspend_timer / resume_timer: the RuntimeEnv defaults (cancel, then
+    # re-arm on the chain's original phase) are exactly right for live
+    # timers -- there is no deterministic event order to preserve.
+
+    # ------------------------------------------------------------------
+    # Protocol attachment
+    # ------------------------------------------------------------------
+    def attach(self, protocol: Any) -> None:
+        self.transport.attach(protocol)

@@ -1,0 +1,49 @@
+"""Length-prefixed framing for the live TCP links.
+
+Each frame is a 4-byte big-endian length followed by that many bytes of
+payload (UTF-8 JSON, see :mod:`repro.live.codec`).  The cap rejects
+corrupt prefixes before they turn into a multi-gigabyte read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+#: Refuse frames larger than this (a live token or envelope is ~KBs).
+MAX_FRAME = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FramingError(ConnectionError):
+    """Raised for oversized or truncated frames."""
+
+
+def frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its length."""
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds cap")
+    return _HEADER.pack(len(payload)) + payload
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    writer.write(frame(payload))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FramingError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FramingError(f"incoming frame of {length} bytes exceeds cap")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FramingError("connection closed mid-frame") from exc

@@ -1,0 +1,178 @@
+"""One live cluster member: ``python -m repro.live.node --config FILE``.
+
+The node builds the full stack -- file-backed storage, mesh transport,
+:class:`~repro.live.env.LiveEnv`, the protocol named in the config -- and
+runs until the cluster-wide deadline.  On its first boot it calls the
+protocol's ``on_start``; after a crash (the supervisor SIGKILLs the
+process and spawns a fresh one over the same storage directory) the new
+incarnation detects the prior boot in stable storage and calls
+``on_restart`` instead, which is all the recovery the paper's protocol
+needs: restore, replay, broadcast the token, move on.
+
+Startup is a two-phase barrier.  The node makes its durable boot record
+and binds its server port first, and only then waits for the supervisor
+to publish the cluster epoch (``epoch_path`` appears once every port in
+the mesh is accepting).  That ordering guarantees a SIGKILL delivered at
+any env-time ``t >= 0`` hits a process whose boot count is already on
+stable storage -- so the next incarnation always knows it is a restart.
+Without the barrier, a kill landing during interpreter startup leaves no
+trace on disk and the respawn would wrongly boot fresh.
+
+Config file (JSON)::
+
+    {
+      "pid": 0, "n": 4,
+      "host": "127.0.0.1", "ports": [43001, 43002, 43003, 43004],
+      "epoch_path": ".../epoch.json",   # supervisor publishes {"epoch": ...}
+      "run_until": 6.0,             # env-time deadline for new work
+      "linger": 1.5,                # grace period for in-flight traffic
+      "protocol": "damani-garg",
+      "app": {"kind": "pipeline", "jobs": 32},
+      "config": {"checkpoint_interval": 0.5, ...},
+      "data_dir": ".../data",       # stable storage lives here
+      "trace_path": ".../trace_p0.jsonl",
+      "done_path": ".../done_p0.json"
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import os
+import sys
+import time
+from typing import Any
+
+from repro.apps.applications import PipelineApp
+from repro.harness.conformance import PROTOCOL_REGISTRY
+from repro.live import codec
+from repro.live.env import LiveEnv, LiveTrace
+from repro.live.storage import FileStableStorage
+from repro.live.transport import MeshTransport
+from repro.protocols.base import ProtocolConfig
+
+_BOOTS_KEY = "node_boots"
+
+
+def build_app(spec: dict[str, Any]):
+    kind = spec.get("kind", "pipeline")
+    if kind == "pipeline":
+        return PipelineApp(jobs=int(spec.get("jobs", 32)))
+    raise ValueError(f"unknown app kind {kind!r}")
+
+
+async def _await_epoch(path: str, timeout: float = 30.0) -> float:
+    """Poll for the supervisor's epoch file (written atomically)."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                return float(json.load(fh)["epoch"])
+        await asyncio.sleep(0.01)
+    raise RuntimeError(f"epoch file {path} never appeared")
+
+
+async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
+    pid = int(cfg["pid"])
+    # Phase 1: durable boot record, THEN the server port.  A listening
+    # port is the readiness signal the supervisor waits for, so any
+    # SIGKILL it injects later finds the boot count already on disk.
+    storage = FileStableStorage(
+        pid, os.path.join(cfg["data_dir"], f"stable_p{pid}.pickle")
+    )
+    boot = storage.get(_BOOTS_KEY, 0) + 1
+    storage.put(_BOOTS_KEY, boot)
+
+    transport = MeshTransport(
+        pid,
+        int(cfg["n"]),
+        list(cfg["ports"]),
+        host=cfg.get("host", "127.0.0.1"),
+        boot=boot,
+        storage=storage,
+    )
+    await transport.start()
+
+    # Phase 2: the epoch exists once the whole mesh is up.  Messages
+    # arriving in the meantime are buffered by the transport and drained
+    # only after on_start/on_restart has run (attach defers the drain).
+    epoch = await _await_epoch(cfg["epoch_path"])
+
+    trace = LiveTrace(open(cfg["trace_path"], "a", encoding="utf-8"))
+    env = LiveEnv(
+        pid=pid,
+        n=int(cfg["n"]),
+        storage=storage,
+        transport=transport,
+        epoch=epoch,
+        crash_count=boot - 1,
+        trace=trace,
+    )
+    protocol_cls = PROTOCOL_REGISTRY[cfg.get("protocol", "damani-garg")]
+    protocol = protocol_cls(
+        env, build_app(cfg.get("app", {})),
+        ProtocolConfig(**cfg.get("config", {})),
+    )
+    if boot == 1:
+        protocol.on_start()
+    else:
+        # The crash itself happened to the previous OS process; this
+        # incarnation only has to recover.  The simulator's host resumes
+        # the timer chains for us; here they died with the process, so
+        # they are started fresh.
+        protocol.on_restart()
+        protocol.start_periodic_tasks()
+
+    deadline = epoch + float(cfg["run_until"])
+    await asyncio.sleep(max(0.0, deadline - time.time()))
+    protocol.halt_periodic_tasks()
+    # Let in-flight traffic (including our own retransmissions) settle.
+    linger_until = time.time() + float(cfg.get("linger", 1.5))
+    while time.time() < linger_until:
+        await asyncio.sleep(0.1)
+
+    stats = dataclasses.asdict(protocol.stats)
+    stats["rollbacks_per_failure"] = {
+        f"{origin}:{version}": count
+        for (origin, version), count in stats["rollbacks_per_failure"].items()
+    }
+    done = {
+        "pid": pid,
+        "boot": boot,
+        "env_time": env.now,
+        "stats": stats,
+        "outputs": codec.encode(protocol.outputs),
+        "transport": {
+            "sent": transport.sent_count,
+            "delivered": transport.delivered_count,
+            "retransmitted": transport.retransmit_count,
+            "unacked": transport.unacked,
+            "deliver_errors": transport.deliver_errors,
+        },
+        "storage_persists": storage.persist_count,
+        "trace_records": trace.records_written,
+    }
+    await transport.stop()
+    trace.close()
+    return done
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.live.node")
+    parser.add_argument("--config", required=True)
+    args = parser.parse_args(argv)
+    with open(args.config, "r", encoding="utf-8") as fh:
+        cfg = json.load(fh)
+    done = asyncio.run(run_node(cfg))
+    tmp = cfg["done_path"] + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(done, fh, indent=2)
+    os.replace(tmp, cfg["done_path"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""File-backed stable storage for live processes.
+
+:class:`FileStableStorage` keeps the exact semantics of the in-memory
+:class:`~repro.storage.stable.StableStorage` -- including the *volatile*
+message-log buffer, which is deliberately **not** persisted (a SIGKILL
+must lose it, exactly like the paper's failure model) -- and writes the
+durable remainder to one pickle file after every stable-storage mutation.
+
+Writes go through a temp file and :func:`os.replace`, so a crash in the
+middle of a write leaves the previous durable image intact; there is no
+window in which the file is missing or half-written.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable
+
+from repro.storage.checkpoint import CheckpointStore
+from repro.storage.log import MessageLog
+from repro.storage.stable import StableStorage
+
+_FORMAT_VERSION = 1
+
+
+class _NotifyingCheckpointStore(CheckpointStore):
+    """CheckpointStore that reports every durable mutation."""
+
+    def __init__(self, on_mutate: Callable[[], None]) -> None:
+        super().__init__()
+        self._on_mutate = on_mutate
+
+    def take(self, *args: Any, **kwargs: Any):
+        ckpt = super().take(*args, **kwargs)
+        self._on_mutate()
+        return ckpt
+
+    def discard_after(self, ckpt) -> int:
+        dropped = super().discard_after(ckpt)
+        self._on_mutate()
+        return dropped
+
+    def garbage_collect_before(self, ckpt_id: int) -> int:
+        dropped = super().garbage_collect_before(ckpt_id)
+        if dropped:
+            self._on_mutate()
+        return dropped
+
+
+class _NotifyingMessageLog(MessageLog):
+    """MessageLog that reports mutations of its *stable* part.
+
+    ``append`` touches only the volatile buffer and therefore does not
+    persist -- that is the point: unflushed messages die with the process.
+    """
+
+    def __init__(self, on_mutate: Callable[[], None]) -> None:
+        super().__init__()
+        self._on_mutate = on_mutate
+
+    def flush(self) -> int:
+        moved = super().flush()
+        if moved:
+            self._on_mutate()
+        return moved
+
+    def truncate(self, keep: int) -> int:
+        dropped = super().truncate(keep)
+        if dropped:
+            self._on_mutate()
+        return dropped
+
+    def discard_prefix(self, before: int) -> int:
+        dropped = super().discard_prefix(before)
+        if dropped:
+            self._on_mutate()
+        return dropped
+
+
+class FileStableStorage(StableStorage):
+    """Stable storage persisted to ``path``; reloads itself on restart."""
+
+    def __init__(self, pid: int, path: str) -> None:
+        super().__init__(pid)
+        self.path = path
+        self.persist_count = 0
+        self._loading = True
+        self.checkpoints = _NotifyingCheckpointStore(self._persist)
+        self.log = _NotifyingMessageLog(self._persist)
+        if os.path.exists(path):
+            self._load()
+        self._loading = False
+
+    # ------------------------------------------------------------------
+    # Mutators that StableStorage itself defines
+    # ------------------------------------------------------------------
+    def log_token(self, token: Any) -> None:
+        super().log_token(token)
+        self._persist()
+
+    def put(self, key: str, value: Any) -> None:
+        super().put(key, value)
+        self._persist()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _durable_state(self) -> dict[str, Any]:
+        return {
+            "version": _FORMAT_VERSION,
+            "pid": self.pid,
+            "checkpoints": self.checkpoints._checkpoints,
+            "ckpt_next_id": self.checkpoints._next_id,
+            "ckpt_taken": self.checkpoints.taken_count,
+            "ckpt_discarded": self.checkpoints.discarded_count,
+            "log_stable": self.log._stable,
+            "log_gc_offset": self.log._gc_offset,
+            "log_flush_count": self.log.flush_count,
+            "log_gc_count": self.log.gc_count,
+            "tokens": self._tokens,
+            "kv": self._kv,
+            "sync_writes": self.sync_writes,
+        }
+
+    def _persist(self) -> None:
+        if self._loading:
+            return
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(self._durable_state(), fh, protocol=4)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.persist_count += 1
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            state = pickle.load(fh)
+        if state.get("version") != _FORMAT_VERSION:
+            raise RuntimeError(
+                f"stable-storage format {state.get('version')!r} "
+                f"not supported (expected {_FORMAT_VERSION})"
+            )
+        if state["pid"] != self.pid:
+            raise RuntimeError(
+                f"storage file {self.path} belongs to pid {state['pid']}, "
+                f"not {self.pid}"
+            )
+        self.checkpoints._checkpoints = state["checkpoints"]
+        self.checkpoints._next_id = state["ckpt_next_id"]
+        self.checkpoints.taken_count = state["ckpt_taken"]
+        self.checkpoints.discarded_count = state["ckpt_discarded"]
+        self.log._stable = state["log_stable"]
+        self.log._gc_offset = state["log_gc_offset"]
+        self.log.flush_count = state["log_flush_count"]
+        self.log.gc_count = state["log_gc_count"]
+        self._tokens = state["tokens"]
+        self._kv = state["kv"]
+        self.sync_writes = state["sync_writes"]

@@ -1,0 +1,354 @@
+"""Reconnecting full-mesh TCP transport for the live cluster.
+
+Channel model: the simulator's network is *reliable* -- a message sent is
+eventually delivered, surviving receiver downtime (buffered) and sender
+downtime (still in flight).  The live transport reproduces that with:
+
+- one outbound TCP link per peer, redialled with exponential backoff
+  whenever it drops (peer crashed, not yet started, transient error);
+- per-link sequence numbers with cumulative acknowledgements; an entry
+  leaves the sender's outbox only when the receiver has acknowledged
+  *processing* it, so anything in doubt is retransmitted on reconnect;
+- a **durable** outbox (persisted in the sender's
+  :class:`~repro.live.storage.FileStableStorage`), so even a SIGKILLed
+  sender retransmits its unacknowledged messages when it comes back --
+  without this, messages "in flight" at a sender crash would be lost,
+  which the paper's channel assumption forbids;
+- receiver-side dedup keyed by ``(sender pid, sender boot)``: retransmits
+  of already-processed entries are acknowledged but not re-delivered.
+  After a *receiver* crash its dedup state is gone, so unacknowledged
+  messages are delivered again -- exactly the redelivery a restarted
+  simulated process gets -- and protocol-level dedup ids absorb the
+  overlap, just as they absorb duplicates under the simulator's
+  ``duplicate_rate``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import sys
+import time
+from typing import Any
+
+from repro.live import codec
+from repro.live.framing import FramingError, read_frame, write_frame
+from repro.runtime.message import NetworkMessage
+
+_OUTBOX_KEY = "transport_outbox"
+_SEQ_KEY = "transport_next_seq"
+
+_BACKOFF_FLOOR = 0.05
+_BACKOFF_CEIL = 1.0
+_IDLE_POLL = 0.5
+
+#: Set REPRO_LIVE_DEBUG=1 to log connection and dedup decisions to stderr
+#: (they end up in the node's log file).
+_DEBUG = os.environ.get("REPRO_LIVE_DEBUG", "") not in ("", "0")
+
+
+def _dbg(msg: str) -> None:
+    if _DEBUG:
+        print(f"[transport {time.time():.3f}] {msg}",
+              file=sys.stderr, flush=True)
+
+
+class MeshTransport:
+    """Mesh endpoint for one live process."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        ports: list[int],
+        *,
+        host: str = "127.0.0.1",
+        boot: int = 0,
+        storage: Any | None = None,
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self.ports = ports
+        self.host = host
+        self.boot = boot
+        self.storage = storage
+        self._protocol: Any | None = None
+        self._undelivered: list[NetworkMessage] = []
+        self._outbox: dict[int, list[tuple[int, bytes]]] = {
+            dst: [] for dst in range(n) if dst != pid
+        }
+        self._next_seq: dict[int, int] = {
+            dst: 1 for dst in range(n) if dst != pid
+        }
+        self._wake: dict[int, asyncio.Event] = {}
+        self._seen: dict[tuple[int, int], int] = {}
+        self._max_written: dict[int, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._running = False
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.retransmit_count = 0
+        self.deliver_errors = 0
+        if storage is not None:
+            self._outbox.update(
+                {
+                    int(dst): [(seq, payload) for seq, payload in entries]
+                    for dst, entries in storage.get(_OUTBOX_KEY, {}).items()
+                }
+            )
+            self._next_seq.update(
+                {
+                    int(dst): seq
+                    for dst, seq in storage.get(_SEQ_KEY, {}).items()
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._running = True
+        for dst in self._outbox:
+            self._wake[dst] = asyncio.Event()
+            if self._outbox[dst]:
+                # Reloaded entries from a previous incarnation: the peer
+                # loop retransmits them as soon as it connects.
+                self._wake[dst].set()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.ports[self.pid]
+        )
+        for dst in self._outbox:
+            self._tasks.append(asyncio.create_task(self._peer_loop(dst)))
+
+    async def stop(self) -> None:
+        self._running = False
+        for task in list(self._tasks) + list(self._conn_tasks):
+            task.cancel()
+        for task in list(self._tasks) + list(self._conn_tasks):
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._tasks.clear()
+        self._conn_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def attach(self, protocol: Any) -> None:
+        if self._protocol is not None:
+            raise RuntimeError(
+                f"transport {self.pid} already has a protocol"
+            )
+        self._protocol = protocol
+        if not self._undelivered:
+            return
+        # Defer the drain one loop iteration so the caller can finish
+        # constructing/recovering the protocol (on_start / on_restart)
+        # before buffered messages hit it.  Outside a running loop --
+        # synchronous tests -- deliver inline.
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self._drain_undelivered()
+            return
+        loop.call_soon(self._drain_undelivered)
+
+    def _drain_undelivered(self) -> None:
+        pending, self._undelivered = self._undelivered, []
+        for msg in pending:
+            self._deliver(msg)
+
+    @property
+    def unacked(self) -> int:
+        """Outbox entries not yet acknowledged by their receivers."""
+        return sum(len(entries) for entries in self._outbox.values())
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: int, msg: NetworkMessage) -> None:
+        """Queue ``msg`` for ``dst``; delivery is asynchronous."""
+        if dst == self.pid:
+            asyncio.get_running_loop().call_soon(self._deliver, msg)
+            return
+        seq = self._next_seq[dst]
+        self._next_seq[dst] = seq + 1
+        payload = json.dumps(
+            {"seq": seq, "msg": codec.encode(msg)},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._outbox[dst].append((seq, payload))
+        self._persist_outbox()
+        self.sent_count += 1
+        if dst in self._wake:
+            self._wake[dst].set()
+
+    def _persist_outbox(self) -> None:
+        if self.storage is None:
+            return
+        self.storage.put(
+            _OUTBOX_KEY,
+            {dst: list(entries) for dst, entries in self._outbox.items()},
+        )
+        self.storage.put(_SEQ_KEY, dict(self._next_seq))
+
+    # ------------------------------------------------------------------
+    # Outbound side: dial, retransmit, consume acks
+    # ------------------------------------------------------------------
+    async def _peer_loop(self, dst: int) -> None:
+        backoff = _BACKOFF_FLOOR
+        while self._running:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.ports[dst]
+                )
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_CEIL)
+                continue
+            backoff = _BACKOFF_FLOOR
+            _dbg(f"p{self.pid}(boot {self.boot}) connected -> p{dst}")
+            ack_task = asyncio.create_task(self._ack_loop(dst, reader))
+            try:
+                hello = json.dumps(
+                    {"hello": {"pid": self.pid, "boot": self.boot}}
+                ).encode("utf-8")
+                await write_frame(writer, hello)
+                await self._pump(dst, writer, ack_task)
+            except (ConnectionError, OSError, FramingError):
+                pass
+            except asyncio.CancelledError:
+                raise
+            except Exception:   # noqa: BLE001 -- an unexpected error must
+                import traceback    # surface in the log, then the link
+
+                traceback.print_exc()   # redials like any other drop
+            finally:
+                ack_task.cancel()
+                with contextlib.suppress(
+                    asyncio.CancelledError, ConnectionError, OSError
+                ):
+                    await ack_task
+                writer.close()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await writer.wait_closed()
+
+    async def _pump(
+        self, dst: int, writer: asyncio.StreamWriter, ack_task: asyncio.Task
+    ) -> None:
+        """Write outbox entries in order until the connection dies."""
+        sent_marker = 0   # highest seq written on *this* connection
+        while self._running:
+            if ack_task.done():
+                return   # read side saw the connection drop
+            entry = next(
+                (e for e in self._outbox[dst] if e[0] > sent_marker), None
+            )
+            if entry is None:
+                self._wake[dst].clear()
+                if any(e[0] > sent_marker for e in self._outbox[dst]):
+                    continue   # raced with send()
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._wake[dst].wait(), timeout=_IDLE_POLL
+                    )
+                continue
+            seq, payload = entry
+            await write_frame(writer, payload)
+            if seq <= self._max_written.get(dst, 0):
+                self.retransmit_count += 1
+            else:
+                self._max_written[dst] = seq
+            sent_marker = seq
+
+    async def _ack_loop(self, dst: int, reader: asyncio.StreamReader) -> None:
+        while self._running:
+            data = await read_frame(reader)
+            if data is None:
+                return
+            acked = json.loads(data.decode("utf-8")).get("ack")
+            if acked is None:
+                continue
+            before = len(self._outbox[dst])
+            self._outbox[dst] = [
+                e for e in self._outbox[dst] if e[0] > acked
+            ]
+            if len(self._outbox[dst]) != before:
+                self._persist_outbox()
+
+    # ------------------------------------------------------------------
+    # Inbound side: accept, dedup, deliver, ack
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            data = await read_frame(reader)
+            if data is None:
+                return
+            hello = json.loads(data.decode("utf-8")).get("hello")
+            if hello is None:
+                return
+            key = (int(hello["pid"]), int(hello["boot"]))
+            _dbg(f"p{self.pid} accepted connection from {key}")
+            while self._running:
+                data = await read_frame(reader)
+                if data is None:
+                    return
+                obj = json.loads(data.decode("utf-8"))
+                seq = obj["seq"]
+                if seq <= self._seen.get(key, 0):
+                    _dbg(f"p{self.pid} dedup drop {key} seq={seq} "
+                         f"(seen={self._seen.get(key)})")
+                if seq > self._seen.get(key, 0):
+                    # Decode BEFORE advancing the dedup cursor: if decode
+                    # raises, the connection drops with the cursor
+                    # untouched and the sender's retransmit gets another
+                    # chance instead of being dropped as a duplicate.
+                    msg = codec.decode(obj["msg"])
+                    if not isinstance(msg, NetworkMessage):
+                        raise FramingError(
+                            f"frame is not a NetworkMessage: {msg!r}"
+                        )
+                    self._seen[key] = seq
+                    self._deliver(msg)
+                await write_frame(
+                    writer,
+                    json.dumps({"ack": seq}).encode("utf-8"),
+                )
+        except (ConnectionError, OSError, FramingError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown: finish quietly so loop teardown has nothing to
+            # report about this handler.
+            pass
+        except Exception:   # noqa: BLE001 -- log it; the sender redials
+            import traceback    # and retransmits anything unacked
+
+            traceback.print_exc()
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    def _deliver(self, msg: NetworkMessage) -> None:
+        if self._protocol is None:
+            self._undelivered.append(msg)
+            return
+        try:
+            self._protocol.on_network_message(msg)
+            self.delivered_count += 1
+        except Exception:   # noqa: BLE001 -- a poisoned message must not
+            self.deliver_errors += 1    # kill the transport loops
+            import traceback
+
+            traceback.print_exc()

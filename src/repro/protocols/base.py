@@ -2,43 +2,51 @@
 
 A protocol process owns, per application process:
 
-- an :class:`~repro.sim.process.AppExecutor` running the
+- an :class:`~repro.runtime.app.AppExecutor` running the
   piecewise-deterministic application (replayable);
-- a :class:`~repro.storage.stable.StableStorage` (checkpoints, message log,
-  token log) surviving crashes;
+- the environment's :class:`~repro.storage.stable.StableStorage`
+  (checkpoints, message log, token log) surviving crashes;
 - a :class:`ProtocolStats` block the metrics layer aggregates;
-- periodic checkpoint / log-flush activities driven by simulator events.
+- periodic checkpoint / log-flush activities driven by environment timers.
 
-Subclasses implement the four lifecycle hooks (`on_start`,
-`on_network_message`, `on_crash`, `on_restart`) plus whatever control
-machinery their paper requires.
+Protocols are engine-agnostic: everything they touch goes through the
+narrow :class:`~repro.runtime.env.RuntimeEnv` interface (``self.env``), so
+the same protocol object runs under the discrete-event simulator and the
+live asyncio cluster runtime.  Subclasses implement the four lifecycle
+hooks (`on_start`, `on_network_message`, `on_crash`, `on_restart`) plus
+whatever control machinery their paper requires.
+
+Construction takes a :class:`RuntimeEnv`; passing a simulation
+:class:`~repro.sim.process.ProcessHost` still works (it is adapted via
+``host.runtime_env()``), as do the deprecated ``protocol.host`` and
+``protocol.sim`` attributes, which warn and delegate to the environment.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.obs.tracer import NULL_TRACER
-from repro.sim.kernel import Simulator
-from repro.sim.network import NetworkMessage
-from repro.sim.process import (
+from repro.runtime.app import (
     Application,
     AppExecutor,
     OutputRecord,
     ProcessContext,
-    ProcessHost,
 )
-from repro.sim.trace import EventKind, SimTrace
-from repro.storage.stable import StableStorage
+from repro.runtime.env import RuntimeEnv, TimerHandle
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind, SimTrace
 
 
 @dataclass
 class ProtocolConfig:
     """Knobs shared by all protocols.
 
-    ``checkpoint_interval`` and ``flush_interval`` are in virtual time.
+    ``checkpoint_interval`` and ``flush_interval`` are in environment time
+    (virtual under the simulator, seconds under the live runtime).
     ``flush_interval`` is the "infrequent intervals" of optimistic logging;
     pessimistic protocols ignore it and log synchronously.
     """
@@ -102,7 +110,7 @@ class ProtocolStats:
 
 
 class BaseRecoveryProcess(abc.ABC):
-    """One protocol instance attached to one :class:`ProcessHost`."""
+    """One protocol instance attached to one :class:`RuntimeEnv`."""
 
     #: Human-readable protocol name (Table 1 row label).
     name: str = "abstract"
@@ -116,29 +124,63 @@ class BaseRecoveryProcess(abc.ABC):
 
     def __init__(
         self,
-        host: ProcessHost,
+        env: RuntimeEnv,
         app: Application,
         config: ProtocolConfig | None = None,
     ) -> None:
-        self.host = host
-        self.pid = host.pid
-        self.n = host.network.n
-        self.sim: Simulator = host.sim
-        self.trace: SimTrace | None = host.trace
+        if not isinstance(env, RuntimeEnv):
+            # Legacy construction from a simulation ProcessHost.
+            env = env.runtime_env()
+        self.env = env
+        self.pid = env.pid
+        self.n = env.n
+        self.trace: SimTrace | None = env.trace
         self.config = config if config is not None else ProtocolConfig()
-        self.executor = AppExecutor(app, self.pid, self.n, self.sim, self.trace)
-        self.storage = StableStorage(self.pid)
+        self.executor = AppExecutor(app, self.pid, self.n, env)
+        self.storage = env.storage
         self.stats = ProtocolStats()
-        # Observability sink: the simulator's tracer when one is attached
+        # Observability sink: the environment's tracer when one is attached
         # (the runner attaches it before protocols are built), else the
         # shared no-op.  Guard expensive metric arguments on
         # ``self.obs.enabled``.
-        self.obs = self.sim.tracer if self.sim.tracer is not None else NULL_TRACER
+        self.obs = env.tracer if env.tracer is not None else NULL_TRACER
         self.outputs: list[tuple[float, Any]] = []   # committed outputs
-        host.attach(self)
+        # Periodic-task state (see start_periodic_tasks).
+        self._periodic_enabled = False
+        self._ckpt_handle: TimerHandle | None = None
+        self._flush_handle: TimerHandle | None = None
+        self._paused_ckpt: TimerHandle | None = None
+        self._paused_flush: TimerHandle | None = None
+        self._deliveries_since_checkpoint = 0
+        env.attach(self)
 
     # ------------------------------------------------------------------
-    # Lifecycle hooks (host-facing)
+    # Deprecated attribute paths (pre-RuntimeEnv API)
+    # ------------------------------------------------------------------
+    @property
+    def host(self):
+        """Deprecated: the simulation host behind a :class:`SimEnv`."""
+        warnings.warn(
+            "protocol.host is deprecated; use protocol.env (RuntimeEnv) -- "
+            "env.alive / env.crash_count / env.send / env.broadcast",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.env.host
+
+    @property
+    def sim(self):
+        """Deprecated: the simulator kernel behind a :class:`SimEnv`."""
+        warnings.warn(
+            "protocol.sim is deprecated; use protocol.env (RuntimeEnv) -- "
+            "env.now / env.schedule_after",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.env.sim
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (environment-facing)
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def on_start(self) -> None: ...
@@ -162,35 +204,87 @@ class BaseRecoveryProcess(abc.ABC):
         self._schedule_flush()
 
     def halt_periodic_tasks(self) -> None:
-        """Stop rescheduling periodic activities (end of experiment)."""
+        """Stop the periodic activities for good (end of experiment).
+
+        The flag alone suffices: each chain's next fire sees it and stops
+        without rescheduling.  (Tombstoning the pending timers instead
+        would change where the drain phase quiesces.)
+        """
         self._periodic_enabled = False
 
+    def pause_periodic_tasks(self) -> None:
+        """Suspend the periodic chains (the environment calls this when the
+        process crashes -- a dead process must not run protocol timers)."""
+        if self._ckpt_handle is not None:
+            self._paused_ckpt = self.env.suspend_timer(
+                self._ckpt_handle,
+                self.config.checkpoint_interval,
+                label=f"ckpt:{self.pid}",
+            )
+            self._ckpt_handle = None
+        if self._flush_handle is not None:
+            self._paused_flush = self.env.suspend_timer(
+                self._flush_handle,
+                self.config.flush_interval,
+                label=f"flush:{self.pid}",
+            )
+            self._flush_handle = None
+
+    def resume_periodic_tasks(self) -> None:
+        """Resume chains paused by :meth:`pause_periodic_tasks`, preserving
+        their phase: fire times are exactly those the never-paused chain
+        would have used (minus the fires that fell inside the downtime,
+        which would have done no work)."""
+        paused_ckpt, self._paused_ckpt = self._paused_ckpt, None
+        paused_flush, self._paused_flush = self._paused_flush, None
+        if not self._periodic_enabled:
+            # Halted while down: abandon the suspended chains.
+            if paused_ckpt is not None:
+                paused_ckpt.cancel()
+            if paused_flush is not None:
+                paused_flush.cancel()
+            return
+        if paused_ckpt is not None:
+            self._ckpt_handle = self.env.resume_timer(
+                paused_ckpt,
+                self.config.checkpoint_interval,
+                self._periodic_checkpoint,
+                label=f"ckpt:{self.pid}",
+            )
+        if paused_flush is not None:
+            self._flush_handle = self.env.resume_timer(
+                paused_flush,
+                self.config.flush_interval,
+                self._periodic_flush,
+                label=f"flush:{self.pid}",
+            )
+
     def _schedule_checkpoint(self) -> None:
-        self.sim.schedule(
+        self._ckpt_handle = self.env.schedule_after(
             self.config.checkpoint_interval,
             self._periodic_checkpoint,
             label=f"ckpt:{self.pid}",
         )
 
     def _periodic_checkpoint(self) -> None:
-        if not getattr(self, "_periodic_enabled", False):
+        self._ckpt_handle = None
+        if not self._periodic_enabled or not self.env.alive:
             return
-        if self.host.alive:
-            self.take_checkpoint()
+        self.take_checkpoint()
         self._schedule_checkpoint()
 
     def _schedule_flush(self) -> None:
-        self.sim.schedule(
+        self._flush_handle = self.env.schedule_after(
             self.config.flush_interval,
             self._periodic_flush,
             label=f"flush:{self.pid}",
         )
 
     def _periodic_flush(self) -> None:
-        if not getattr(self, "_periodic_enabled", False):
+        self._flush_handle = None
+        if not self._periodic_enabled or not self.env.alive:
             return
-        if self.host.alive:
-            self.flush_log()
+        self.flush_log()
         self._schedule_flush()
 
     # ------------------------------------------------------------------
@@ -206,7 +300,7 @@ class BaseRecoveryProcess(abc.ABC):
         threshold = self.config.checkpoint_every_messages
         if threshold is None:
             return
-        count = getattr(self, "_deliveries_since_checkpoint", 0) + 1
+        count = self._deliveries_since_checkpoint + 1
         if count >= threshold:
             self.take_checkpoint()
         else:
@@ -222,7 +316,7 @@ class BaseRecoveryProcess(abc.ABC):
         self.flush_log()
         with self.obs.span("proto.checkpoint_wall_s"):
             ckpt = self.storage.checkpoints.take(
-                self.sim.now,
+                self.env.now,
                 self.executor.snapshot(),
                 self.storage.log.stable_length,
                 extras=self.checkpoint_extras(),
@@ -230,7 +324,7 @@ class BaseRecoveryProcess(abc.ABC):
         self.obs.counter("proto.checkpoints")
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.CHECKPOINT,
                 self.pid,
                 ckpt_id=ckpt.ckpt_id,
@@ -249,7 +343,7 @@ class BaseRecoveryProcess(abc.ABC):
             self.obs.counter("proto.log_entries_flushed", moved)
         if moved and self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.LOG_FLUSH,
                 self.pid,
                 moved=moved,
@@ -269,10 +363,10 @@ class BaseRecoveryProcess(abc.ABC):
         if replay:
             return
         for rec in records:
-            self.outputs.append((self.sim.now, rec.value))
+            self.outputs.append((self.env.now, rec.value))
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.OUTPUT,
                     self.pid,
                     value=rec.value,

@@ -28,8 +28,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.protocols.base import BaseRecoveryProcess
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -91,8 +91,8 @@ class CausalLoggingProcess(BaseRecoveryProcess):
     asynchronous_recovery = False
     tolerates_concurrent_failures = False
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         self._rsn = 0
         self._ssn = 0
         self._incarnation = 0
@@ -172,7 +172,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
             self.stats.duplicates_discarded += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.DISCARD, self.pid,
+                    self.env.now, EventKind.DISCARD, self.pid,
                     msg_id=msg.msg_id, reason="duplicate",
                 )
             return
@@ -186,7 +186,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
             self.stats.app_discarded += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.DISCARD, self.pid,
+                    self.env.now, EventKind.DISCARD, self.pid,
                     msg_id=msg.msg_id, reason="obsolete",
                 )
             return
@@ -196,7 +196,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
             self.stats.app_postponed += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.POSTPONE, self.pid,
+                    self.env.now, EventKind.POSTPONE, self.pid,
                     msg_id=msg.msg_id, awaiting=[key],
                 )
             return
@@ -245,7 +245,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
             stable_rsn=self.storage.log.stable_length,
         )
         self._ssn += 1
-        sent = self.host.send(dst, envelope, kind="app")
+        sent = self.env.send(dst, envelope, kind="app")
         self.stats.app_sent += 1
         # Overhead accounting: each determinant is the causal-logging
         # analogue of a clock entry.
@@ -253,7 +253,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
         self.stats.piggyback_bits += 64 + len(determinants) * 160
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.SEND, self.pid,
+                self.env.now, EventKind.SEND, self.pid,
                 msg_id=sent.msg_id, dst=dst,
                 uid=self.executor.current_uid,
                 dedup=(self.pid, envelope.ssn),
@@ -267,7 +267,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="restart",
             )
         self.executor.restore(ckpt.snapshot)
@@ -298,7 +298,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
             return
         self._recovering = True
         self._responses = {}
-        self.host.broadcast(
+        self.env.broadcast(
             CLRecover(
                 requester=self.pid,
                 incarnation=self._incarnation,
@@ -344,7 +344,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
             for (dest, rsn), det in sorted(self._determinants.items())
             if dest == request.requester and rsn >= request.rsn_floor
         )
-        self.host.send(
+        self.env.send(
             request.requester,
             CLDeterminants(responder=self.pid, determinants=mine),
             kind="control",
@@ -359,7 +359,7 @@ class CausalLoggingProcess(BaseRecoveryProcess):
         self._ending.discard(key)
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_DELIVER, self.pid,
+                self.env.now, EventKind.TOKEN_DELIVER, self.pid,
                 origin=announce.origin, version=announce.incarnation,
                 timestamp=announce.ssn_cutoff,
             )
@@ -438,23 +438,23 @@ class CausalLoggingProcess(BaseRecoveryProcess):
         )
         self.storage.log_token(announce)
         self._ssn_cutoffs[(self.pid, self._incarnation)] = self._ssn
-        self._incarnation = self.host.crash_count
+        self._incarnation = self.env.crash_count
         if self.n > 1:
-            self.host.broadcast(announce, kind="token")
+            self.env.broadcast(announce, kind="token")
             self.stats.tokens_sent += self.n - 1
             self.stats.control_sent += self.n - 1
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_SEND, self.pid,
+                self.env.now, EventKind.TOKEN_SEND, self.pid,
                 version=announce.incarnation,
                 timestamp=announce.ssn_cutoff,
             )
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, self.host.crash_count
+            self.env.crash_count, self.env.crash_count
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTART, self.pid,
+                self.env.now, EventKind.RESTART, self.pid,
                 restored_uid=restored_uid,
                 new_uid=self.executor.current_uid,
                 replayed=replayed,

@@ -32,8 +32,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.protocols.base import BaseRecoveryProcess
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -77,8 +77,8 @@ class CoordinatedProcess(BaseRecoveryProcess):
     tolerates_concurrent_failures = True
     COORDINATOR = 0
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         self.round = 0
         self.epoch = 0
         self._send_seq = 0
@@ -113,7 +113,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
             self._schedule_snapshot_round()
 
     def _schedule_snapshot_round(self) -> None:
-        self.sim.schedule(
+        self.env.schedule_after(
             self.config.checkpoint_interval,
             self._initiate_round,
             label="snapshot-round",
@@ -122,12 +122,12 @@ class CoordinatedProcess(BaseRecoveryProcess):
     def _initiate_round(self) -> None:
         if not getattr(self, "_rounds_enabled", True):
             return
-        if self.host.alive and self._pending_round is None:
+        if self.env.alive and self._pending_round is None:
             next_round = self.storage.get("next_round", 1)
             self.storage.put("next_round", next_round + 1)
             self._pending_round = next_round
             self._acks = set()
-            self.host.broadcast(
+            self.env.broadcast(
                 CoSnapshot(next_round, self.epoch), kind="control"
             )
             self.stats.control_sent += self.n - 1
@@ -171,25 +171,25 @@ class CoordinatedProcess(BaseRecoveryProcess):
         ckpt = self._checkpoint_for_round(committed)
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="restart",
             )
         self._restore_to(ckpt, epoch)
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, epoch
+            self.env.crash_count, epoch
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTART, self.pid,
+                self.env.now, EventKind.RESTART, self.pid,
                 restored_uid=restored_uid,
                 new_uid=self.executor.current_uid,
                 replayed=0,
             )
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_SEND, self.pid,
+                self.env.now, EventKind.TOKEN_SEND, self.pid,
                 version=epoch, timestamp=committed,
             )
-        self.host.broadcast(CoRecover(committed, epoch), kind="token")
+        self.env.broadcast(CoRecover(committed, epoch), kind="token")
         self.stats.tokens_sent += self.n - 1
         self.stats.control_sent += self.n - 1
         self._redeliver_channel_state(ckpt)
@@ -200,7 +200,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
     def _take_snapshot(self, round_number: int) -> None:
         self._channel_logs.setdefault(round_number, [])
         ckpt = self.storage.checkpoints.take(
-            self.sim.now,
+            self.env.now,
             self.executor.snapshot(),
             self.storage.log.stable_length,
             extras={
@@ -214,7 +214,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.CHECKPOINT, self.pid,
+                self.env.now, EventKind.CHECKPOINT, self.pid,
                 ckpt_id=ckpt.ckpt_id,
                 uid=self.executor.current_uid,
                 log_position=ckpt.log_position,
@@ -241,7 +241,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
         if self.pid == self.COORDINATOR:
             self._on_snap_ack(CoSnapAck(snap.round, self.pid))
         else:
-            self.host.send(
+            self.env.send(
                 self.COORDINATOR, CoSnapAck(snap.round, self.pid),
                 kind="control",
             )
@@ -255,7 +255,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
             committed = self._pending_round
             self._pending_round = None
             commit = CoCommit(committed, self.epoch)
-            self.host.broadcast(commit, kind="control")
+            self.env.broadcast(commit, kind="control")
             self.stats.control_sent += self.n - 1
             self._on_commit(commit)
 
@@ -283,7 +283,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
         self.stats.tokens_received += 1
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_DELIVER, self.pid,
+                self.env.now, EventKind.TOKEN_DELIVER, self.pid,
                 origin=-1, version=recover.epoch, timestamp=recover.round,
             )
         if recover.epoch <= self.epoch:
@@ -291,7 +291,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
         ckpt = self._checkpoint_for_round(recover.round)
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="rollback",
             )
         self._restore_to(ckpt, recover.epoch)
@@ -299,7 +299,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
         self.stats.note_rollback(-1, recover.epoch)
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.ROLLBACK, self.pid,
+                self.env.now, EventKind.ROLLBACK, self.pid,
                 origin=-1, version=recover.epoch, timestamp=recover.round,
                 restored_uid=restored_uid,
                 new_uid=self.executor.current_uid,
@@ -359,7 +359,7 @@ class CoordinatedProcess(BaseRecoveryProcess):
                     self.stats.app_discarded += 1
                     if self.trace is not None:
                         self.trace.record(
-                            self.sim.now, EventKind.DISCARD, self.pid,
+                            self.env.now, EventKind.DISCARD, self.pid,
                             msg_id=msg.msg_id, reason="obsolete",
                         )
                     return
@@ -392,13 +392,13 @@ class CoordinatedProcess(BaseRecoveryProcess):
             dedup_id=(self.pid, self._send_seq),
         )
         self._send_seq += 1
-        sent = self.host.send(dst, envelope, kind="app")
+        sent = self.env.send(dst, envelope, kind="app")
         self.stats.app_sent += 1
         self.stats.piggyback_entries += 2      # round + epoch
         self.stats.piggyback_bits += 64
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.SEND, self.pid,
+                self.env.now, EventKind.SEND, self.pid,
                 msg_id=sent.msg_id, dst=dst,
                 uid=self.executor.current_uid,
                 dedup=envelope.dedup_id,

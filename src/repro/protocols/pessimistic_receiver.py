@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.protocols.base import BaseRecoveryProcess
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -42,8 +42,8 @@ class PessimisticReceiverProcess(BaseRecoveryProcess):
     asynchronous_recovery = True
     tolerates_concurrent_failures = True
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         self._send_seq = 0
         self._delivered: set[tuple[int, int]] = set()
 
@@ -64,7 +64,7 @@ class PessimisticReceiverProcess(BaseRecoveryProcess):
             self.stats.duplicates_discarded += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.DISCARD,
                     self.pid,
                     msg_id=msg.msg_id,
@@ -102,7 +102,7 @@ class PessimisticReceiverProcess(BaseRecoveryProcess):
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.RESTORE,
                 self.pid,
                 ckpt_uid=ckpt.snapshot["uid"],
@@ -124,11 +124,11 @@ class PessimisticReceiverProcess(BaseRecoveryProcess):
             self.emit_outputs(ctx.outputs, replay=True)
             replayed += 1
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, self.host.crash_count
+            self.env.crash_count, self.env.crash_count
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.RESTART,
                 self.pid,
                 restored_uid=restored_uid,
@@ -148,14 +148,14 @@ class PessimisticReceiverProcess(BaseRecoveryProcess):
         envelope = _Envelope(payload=payload, dedup_id=(self.pid, self._send_seq))
         self._send_seq += 1
         if transmit:
-            sent = self.host.send(dst, envelope, kind="app")
+            sent = self.env.send(dst, envelope, kind="app")
             self.stats.app_sent += 1
             # No clock is piggybacked; only the O(1) dedup id.
             self.stats.piggyback_entries += 1
             self.stats.piggyback_bits += 64
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.SEND,
                     self.pid,
                     msg_id=sent.msg_id,

@@ -28,8 +28,8 @@ from typing import Any
 
 from repro.clocks.vector import VectorClock
 from repro.protocols.base import BaseRecoveryProcess
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -60,8 +60,8 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
     asynchronous_recovery = False
     tolerates_concurrent_failures = False
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         self.clock = VectorClock.initial(self.pid, self.n)
         self.epoch = 0
         # epoch -> (failed pid, restored timestamp): the cutoff that ended it
@@ -109,7 +109,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="restart",
             )
         self._restore_checkpoint(ckpt)
@@ -126,15 +126,15 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
         self.cutoffs[self.epoch] = (self.pid, restored_ts)
         self.epoch = new_epoch
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, new_epoch
+            self.env.crash_count, new_epoch
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_SEND, self.pid,
+                self.env.now, EventKind.TOKEN_SEND, self.pid,
                 version=new_epoch, timestamp=restored_ts,
             )
             self.trace.record(
-                self.sim.now, EventKind.RESTART, self.pid,
+                self.env.now, EventKind.RESTART, self.pid,
                 restored_uid=restored_uid,
                 new_uid=self.executor.current_uid,
                 replayed=replayed,
@@ -143,11 +143,11 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
         if self.n == 1:
             return
         # The synchronous part: broadcast and wait for everyone.
-        self.host.broadcast(token, kind="token")
+        self.env.broadcast(token, kind="token")
         self.stats.tokens_sent += self.n - 1
         self.stats.control_sent += self.n - 1
         self._awaiting_acks = set(range(self.n)) - {self.pid}
-        self._blocked_since = self.sim.now
+        self._blocked_since = self.env.now
 
     # ------------------------------------------------------------------
     # Receive message
@@ -172,7 +172,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
             self.stats.app_postponed += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.POSTPONE, self.pid,
+                    self.env.now, EventKind.POSTPONE, self.pid,
                     msg_id=msg.msg_id, awaiting=[("epoch", envelope.epoch)],
                 )
             return
@@ -180,7 +180,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
             self.stats.app_discarded += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.DISCARD, self.pid,
+                    self.env.now, EventKind.DISCARD, self.pid,
                     msg_id=msg.msg_id, reason="obsolete",
                 )
             return
@@ -214,13 +214,13 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
         envelope = PKEnvelope(payload=payload, clock=self.clock,
                               epoch=self.epoch)
         if transmit:
-            sent = self.host.send(dst, envelope, kind="app")
+            sent = self.env.send(dst, envelope, kind="app")
             self.stats.app_sent += 1
             self.stats.piggyback_entries += len(self.clock) + 1
             self.stats.piggyback_bits += (len(self.clock) + 1) * 32
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.SEND, self.pid,
+                    self.env.now, EventKind.SEND, self.pid,
                     msg_id=sent.msg_id, dst=dst,
                     uid=self.executor.current_uid,
                 )
@@ -235,7 +235,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
         self.stats.sync_log_writes += 1
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_DELIVER, self.pid,
+                self.env.now, EventKind.TOKEN_DELIVER, self.pid,
                 origin=token.origin, version=token.epoch,
                 timestamp=token.restored_ts,
             )
@@ -243,7 +243,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
             self._rollback(token)
         self.cutoffs[token.epoch - 1] = (token.origin, token.restored_ts)
         self.epoch = max(self.epoch, token.epoch)
-        self.host.send(token.origin, PKAck(epoch=token.epoch, sender=self.pid),
+        self.env.send(token.origin, PKAck(epoch=token.epoch, sender=self.pid),
                        kind="control")
         self.stats.control_sent += 1
         held, self._held = self._held, []
@@ -257,7 +257,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
         if not self._awaiting_acks:
             self._awaiting_acks = None
             if self._blocked_since is not None:
-                self.stats.blocked_time += self.sim.now - self._blocked_since
+                self.stats.blocked_time += self.env.now - self._blocked_since
                 self._blocked_since = None
             buffered, self._buffered = self._buffered, []
             for msg in buffered:
@@ -280,7 +280,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
             )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="rollback",
             )
         self._restore_checkpoint(ckpt)
@@ -299,7 +299,7 @@ class PetersonKearnsProcess(BaseRecoveryProcess):
         self.stats.note_rollback(token.origin, token.epoch)
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.ROLLBACK, self.pid,
+                self.env.now, EventKind.ROLLBACK, self.pid,
                 origin=token.origin, version=token.epoch,
                 timestamp=token.restored_ts,
                 restored_uid=restored_uid,

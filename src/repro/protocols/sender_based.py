@@ -28,8 +28,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.protocols.base import BaseRecoveryProcess
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -87,8 +87,8 @@ class SenderBasedProcess(BaseRecoveryProcess):
     asynchronous_recovery = False
     tolerates_concurrent_failures = True
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         # Stable: survives crashes (deliberately not cleared in on_crash).
         self._send_log: list[_SendLogRecord] = []
         # Volatile:
@@ -154,7 +154,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.RESTORE,
                 self.pid,
                 ckpt_uid=ckpt.snapshot["uid"],
@@ -176,7 +176,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
         self._recovering = True
         self._responses = {}
         request = JZRetrieve(requester=self.pid, rsn_floor=self._rsn)
-        self.host.broadcast(request, kind="control")
+        self.env.broadcast(request, kind="control")
         self.stats.control_sent += self.n - 1
 
     # ------------------------------------------------------------------
@@ -188,7 +188,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
             self.stats.duplicates_discarded += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.DISCARD,
                     self.pid,
                     msg_id=msg.msg_id,
@@ -203,7 +203,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
             meta=(envelope.send_seq, rsn),
         )
         self._unconfirmed.add(rsn)
-        self.host.send(msg.src, JZAck(envelope.send_seq, rsn), kind="control")
+        self.env.send(msg.src, JZAck(envelope.send_seq, rsn), kind="control")
         self.stats.control_sent += 1
         self.stats.app_delivered += 1
         ctx = self.executor.execute(envelope.payload, msg_id=msg.msg_id)
@@ -217,7 +217,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
         for record in self._send_log:
             if record.send_seq == ack.send_seq:
                 record.rsn = ack.rsn
-                self.host.send(record.dst, JZAckAck(ack.rsn), kind="control")
+                self.env.send(record.dst, JZAckAck(ack.rsn), kind="control")
                 self.stats.control_sent += 1
                 return
 
@@ -233,14 +233,14 @@ class SenderBasedProcess(BaseRecoveryProcess):
         self._send_seq += 1
         if self._unconfirmed:
             if self._blocked_since is None:
-                self._blocked_since = self.sim.now
+                self._blocked_since = self.env.now
             self._outbox.append((dst, envelope))
         else:
             self._transmit(dst, envelope)
 
     def _drain_outbox(self) -> None:
         if self._blocked_since is not None:
-            self.stats.blocked_time += self.sim.now - self._blocked_since
+            self.stats.blocked_time += self.env.now - self._blocked_since
             self._blocked_since = None
         outbox, self._outbox = self._outbox, []
         for dst, envelope in outbox:
@@ -252,7 +252,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
         self._transmit(dst, envelope)
 
     def _transmit(self, dst: int, envelope: JZMessage) -> None:
-        sent = self.host.send(dst, envelope, kind="app")
+        sent = self.env.send(dst, envelope, kind="app")
         # The stable send log is written at transmission time, never for
         # queued-but-unsent messages (a crashed outbox must not leak
         # messages from states nobody can recover).
@@ -267,7 +267,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
         self.stats.piggyback_bits += 64
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.SEND,
                 self.pid,
                 msg_id=sent.msg_id,
@@ -299,7 +299,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
         response = JZRetrieveResponse(
             responder=self.pid, acked=tuple(acked), unacked=tuple(unacked)
         )
-        self.host.send(request.requester, response, kind="control")
+        self.env.send(request.requester, response, kind="control")
         self.stats.control_sent += 1
 
     def _on_retrieve_response(self, response: JZRetrieveResponse) -> None:
@@ -352,11 +352,11 @@ class SenderBasedProcess(BaseRecoveryProcess):
         fresh = remainder + fresh
 
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, self.host.crash_count
+            self.env.crash_count, self.env.crash_count
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now,
+                self.env.now,
                 EventKind.RESTART,
                 self.pid,
                 restored_uid=restored_uid,
@@ -389,7 +389,7 @@ class SenderBasedProcess(BaseRecoveryProcess):
         self.storage.log.append(msg_id, send_seq[0], payload,
                                 meta=(send_seq, rsn))
         self._unconfirmed.add(rsn)
-        self.host.send(send_seq[0], JZAck(send_seq, rsn), kind="control")
+        self.env.send(send_seq[0], JZAck(send_seq, rsn), kind="control")
         self.stats.control_sent += 1
         self.stats.app_delivered += 1
         ctx = self.executor.execute(payload, msg_id=msg_id)

@@ -28,8 +28,8 @@ from typing import Any
 
 from repro.clocks.vector import VectorClock
 from repro.protocols.base import BaseRecoveryProcess
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -76,8 +76,8 @@ class SistlaWelchProcess(BaseRecoveryProcess):
     asynchronous_recovery = False
     tolerates_concurrent_failures = False
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         self.clock = VectorClock.initial(self.pid, self.n)
         self.epoch = 0
         self.cutoffs: dict[int, tuple[int, ...]] = {}   # epoch -> committed cut
@@ -130,7 +130,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="restart",
             )
         self._restore_checkpoint(ckpt)
@@ -139,11 +139,11 @@ class SistlaWelchProcess(BaseRecoveryProcess):
             self._replay_entry(entry)
             replayed += 1
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, self.epoch + 1
+            self.env.crash_count, self.epoch + 1
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTART, self.pid,
+                self.env.now, EventKind.RESTART, self.pid,
                 restored_uid=restored_uid,
                 new_uid=self.executor.current_uid,
                 replayed=replayed,
@@ -155,16 +155,16 @@ class SistlaWelchProcess(BaseRecoveryProcess):
         # Start the synchronous session.
         session_epoch = self.epoch + 1
         self._paused_for = session_epoch
-        self._blocked_since = self.sim.now
+        self._blocked_since = self.env.now
         self._round = 0
         self._cut = [None] * self.n
         self._cut[self.pid] = self.clock[self.pid]
-        self.host.broadcast(SWBegin(self.pid, session_epoch), kind="token")
+        self.env.broadcast(SWBegin(self.pid, session_epoch), kind="token")
         self.stats.tokens_sent += self.n - 1
         self.stats.control_sent += self.n - 1
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_SEND, self.pid,
+                self.env.now, EventKind.TOKEN_SEND, self.pid,
                 version=session_epoch, timestamp=self.clock[self.pid],
             )
         self._start_round(session_epoch)
@@ -174,7 +174,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
     # ------------------------------------------------------------------
     def _start_round(self, epoch: int) -> None:
         self._reports = {}
-        self.host.broadcast(
+        self.env.broadcast(
             SWRound(self.pid, epoch, self._round, tuple(self._cut)),
             kind="control",
         )
@@ -199,7 +199,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
             self._start_round(report.epoch)
             return
         cut = tuple(ts if ts is not None else 0 for ts in self._cut)
-        self.host.broadcast(
+        self.env.broadcast(
             SWCommit(self.pid, report.epoch, cut), kind="control"
         )
         self.stats.control_sent += self.n - 1
@@ -212,11 +212,11 @@ class SistlaWelchProcess(BaseRecoveryProcess):
         self.stats.tokens_received += 1
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_DELIVER, self.pid,
+                self.env.now, EventKind.TOKEN_DELIVER, self.pid,
                 origin=begin.initiator, version=begin.epoch, timestamp=0,
             )
         self._paused_for = begin.epoch
-        self._blocked_since = self.sim.now
+        self._blocked_since = self.env.now
         self.flush_log()
 
     def _candidate_position(self, cut: tuple[int | None, ...]) -> int:
@@ -251,7 +251,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
             return
         position = self._candidate_position(round_msg.cut)
         candidate_ts = self._state_clock_at(position)[self.pid]
-        self.host.send(
+        self.env.send(
             round_msg.initiator,
             SWReport(self.pid, round_msg.epoch, round_msg.round, candidate_ts),
             kind="control",
@@ -276,7 +276,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
         self.storage.log_token(SWCommit(self.pid, epoch, cut))
         self._paused_for = None
         if self._blocked_since is not None:
-            self.stats.blocked_time += self.sim.now - self._blocked_since
+            self.stats.blocked_time += self.env.now - self._blocked_since
             self._blocked_since = None
         self.take_checkpoint()
         buffered, self._buffered = self._buffered, []
@@ -295,7 +295,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
         assert ckpt is not None   # the initial checkpoint is at position 0
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="rollback",
             )
         self._restore_checkpoint(ckpt)
@@ -312,7 +312,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
         self.stats.note_rollback(epoch, 0)
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.ROLLBACK, self.pid,
+                self.env.now, EventKind.ROLLBACK, self.pid,
                 origin=-1, version=epoch, timestamp=0,
                 restored_uid=restored_uid,
                 new_uid=self.executor.current_uid,
@@ -339,7 +339,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
             self.stats.app_postponed += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.POSTPONE, self.pid,
+                    self.env.now, EventKind.POSTPONE, self.pid,
                     msg_id=msg.msg_id, awaiting=[("epoch", envelope.epoch)],
                 )
             return
@@ -347,7 +347,7 @@ class SistlaWelchProcess(BaseRecoveryProcess):
             self.stats.app_discarded += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.DISCARD, self.pid,
+                    self.env.now, EventKind.DISCARD, self.pid,
                     msg_id=msg.msg_id, reason="obsolete",
                 )
             return
@@ -381,13 +381,13 @@ class SistlaWelchProcess(BaseRecoveryProcess):
         envelope = SWEnvelope(payload=payload, clock=self.clock,
                               epoch=self.epoch)
         if transmit:
-            sent = self.host.send(dst, envelope, kind="app")
+            sent = self.env.send(dst, envelope, kind="app")
             self.stats.app_sent += 1
             self.stats.piggyback_entries += len(self.clock) + 1
             self.stats.piggyback_bits += (len(self.clock) + 1) * 32
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.SEND, self.pid,
+                    self.env.now, EventKind.SEND, self.pid,
                     msg_id=sent.msg_id, dst=dst,
                     uid=self.executor.current_uid,
                 )

@@ -37,8 +37,8 @@ from typing import Any
 from repro.core.ftvc import FaultTolerantVectorClock
 from repro.core.recovery import DamaniGargProcess
 from repro.core.tokens import RecoveryToken
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 
 @dataclass(frozen=True)
@@ -72,8 +72,8 @@ class SmithJohnsonTygarProcess(DamaniGargProcess):
     asynchronous_recovery = True
     tolerates_concurrent_failures = True
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         self.matrix: list[FaultTolerantVectorClock] = [
             FaultTolerantVectorClock.initial(j, self.n) for j in range(self.n)
         ]
@@ -126,13 +126,13 @@ class SmithJohnsonTygarProcess(DamaniGargProcess):
         )
         self._send_seq += 1
         if transmit:
-            sent = self.host.send(dst, envelope, kind="app")
+            sent = self.env.send(dst, envelope, kind="app")
             self.stats.app_sent += 1
             self.stats.piggyback_entries += envelope.piggyback_entries()
             self.stats.piggyback_bits += envelope.piggyback_entries() * 40
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now,
+                    self.env.now,
                     EventKind.SEND,
                     self.pid,
                     msg_id=sent.msg_id,

@@ -34,8 +34,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.protocols.base import BaseRecoveryProcess
-from repro.sim.network import NetworkMessage
-from repro.sim.trace import EventKind
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
 
 #: A dependency entry: (incarnation, state index), ordered lexicographically.
 DepEntry = tuple[int, int]
@@ -68,8 +68,8 @@ class StromYeminiProcess(BaseRecoveryProcess):
     asynchronous_recovery = True
     tolerates_concurrent_failures = False
 
-    def __init__(self, host, app, config=None) -> None:
-        super().__init__(host, app, config)
+    def __init__(self, env, app, config=None) -> None:
+        super().__init__(env, app, config)
         self.incarnation = 0
         self.index = 0
         self.dv: list[DepEntry] = [(0, 0) for _ in range(self.n)]
@@ -107,7 +107,7 @@ class StromYeminiProcess(BaseRecoveryProcess):
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="restart",
             )
         self._restore_checkpoint(ckpt)
@@ -115,14 +115,14 @@ class StromYeminiProcess(BaseRecoveryProcess):
         for entry in self.storage.log.stable_entries(ckpt.log_position):
             self._replay_entry(entry)
             replayed += 1
-        root = (self.pid, self.host.crash_count)
+        root = (self.pid, self.env.crash_count)
         self._end_incarnations_and_reincarnate(root)
         restored_uid = self.executor.begin_incarnation(
-            self.host.crash_count, self.incarnation
+            self.env.crash_count, self.incarnation
         )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTART, self.pid,
+                self.env.now, EventKind.RESTART, self.pid,
                 restored_uid=restored_uid,
                 new_uid=self.executor.current_uid,
                 replayed=replayed,
@@ -167,7 +167,7 @@ class StromYeminiProcess(BaseRecoveryProcess):
             self.stats.app_discarded += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.DISCARD, self.pid,
+                    self.env.now, EventKind.DISCARD, self.pid,
                     msg_id=msg.msg_id, reason="obsolete",
                 )
             return
@@ -177,7 +177,7 @@ class StromYeminiProcess(BaseRecoveryProcess):
             self.stats.app_postponed += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.POSTPONE, self.pid,
+                    self.env.now, EventKind.POSTPONE, self.pid,
                     msg_id=msg.msg_id, awaiting=missing,
                 )
             return
@@ -218,13 +218,13 @@ class StromYeminiProcess(BaseRecoveryProcess):
     def _send_app(self, dst: int, payload: Any, *, transmit: bool) -> None:
         envelope = SYEnvelope(payload=payload, dv=tuple(self.dv))
         if transmit:
-            sent = self.host.send(dst, envelope, kind="app")
+            sent = self.env.send(dst, envelope, kind="app")
             self.stats.app_sent += 1
             self.stats.piggyback_entries += len(envelope.dv)
             self.stats.piggyback_bits += len(envelope.dv) * (32 + 8)
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.SEND, self.pid,
+                    self.env.now, EventKind.SEND, self.pid,
                     msg_id=sent.msg_id, dst=dst,
                     uid=self.executor.current_uid,
                 )
@@ -263,12 +263,12 @@ class StromYeminiProcess(BaseRecoveryProcess):
             )
             self.storage.log_token(announcement)
             self._iet_install((self.pid, incarnation), end)
-            self.host.broadcast(announcement, kind="token")
+            self.env.broadcast(announcement, kind="token")
             self.stats.tokens_sent += self.n - 1
             self.stats.control_sent += self.n - 1
             if self.trace is not None:
                 self.trace.record(
-                    self.sim.now, EventKind.TOKEN_SEND, self.pid,
+                    self.env.now, EventKind.TOKEN_SEND, self.pid,
                     version=incarnation,
                     timestamp=end,
                 )
@@ -283,7 +283,7 @@ class StromYeminiProcess(BaseRecoveryProcess):
         self.stats.sync_log_writes += 1
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.TOKEN_DELIVER, self.pid,
+                self.env.now, EventKind.TOKEN_DELIVER, self.pid,
                 origin=announcement.origin,
                 version=announcement.incarnation,
                 timestamp=announcement.end_index,
@@ -322,7 +322,7 @@ class StromYeminiProcess(BaseRecoveryProcess):
             )
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.RESTORE, self.pid,
+                self.env.now, EventKind.RESTORE, self.pid,
                 ckpt_uid=ckpt.snapshot["uid"], reason="rollback",
             )
         self._restore_checkpoint(ckpt)
@@ -348,7 +348,7 @@ class StromYeminiProcess(BaseRecoveryProcess):
         self.stats.note_rollback(*announcement.root)
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, EventKind.ROLLBACK, self.pid,
+                self.env.now, EventKind.ROLLBACK, self.pid,
                 origin=announcement.origin,
                 version=announcement.incarnation,
                 timestamp=announcement.end_index,

@@ -10,10 +10,14 @@ This package provides everything the recovery protocols run on top of:
 - :mod:`repro.sim.process` -- the piecewise-deterministic application/process
   model of the paper's Section 3.
 - :mod:`repro.sim.failures` -- crash and partition injection.
-- :mod:`repro.sim.trace` -- a protocol-independent ground-truth event trace
-  used by the analysis oracles.
+- :mod:`repro.sim.env` -- :class:`SimEnv`, the simulation implementation of
+  the engine-agnostic :class:`repro.runtime.RuntimeEnv` protocols run on.
+
+The trace model and the wire envelope are re-exported from
+:mod:`repro.runtime`, their canonical home.
 """
 
+from repro.sim.env import SimEnv
 from repro.sim.failures import CrashPlan, FailureInjector, PartitionPlan
 from repro.sim.kernel import Event, EventHandle, Simulator
 from repro.sim.network import (
@@ -38,6 +42,7 @@ from repro.sim.trace import (
 
 __all__ = [
     "Application",
+    "SimEnv",
     "CrashPlan",
     "DeliveryOrder",
     "Event",

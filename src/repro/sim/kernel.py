@@ -164,6 +164,22 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
+    def retarget(
+        self,
+        handle: EventHandle,
+        callback: Callable[[], None],
+    ) -> EventHandle:
+        """Swap the callback of a pending event, keeping its position.
+
+        The event keeps its ``(time, priority, seq)`` key, so it fires
+        exactly where it always would have -- including its place among
+        same-instant ties.  Handing a periodic timer to a placeholder
+        across a process's downtime and handing it back this way is
+        indistinguishable from never having touched it.
+        """
+        handle._event.callback = callback
+        return handle
+
     def schedule_at(
         self,
         time: float,

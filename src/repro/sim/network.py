@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind, SimTrace
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
-from repro.sim.trace import EventKind, SimTrace
 
 
 class DeliveryOrder(Enum):
@@ -99,24 +100,6 @@ class ScriptedLatency(LatencyModel):
         if queue:
             return queue.pop(0)
         return self.default
-
-
-@dataclass
-class NetworkMessage:
-    """A message in flight.
-
-    ``kind`` distinguishes application messages from recovery tokens and
-    other control traffic; ordering disciplines apply uniformly, but the
-    metrics layer accounts for them separately.
-    """
-
-    msg_id: int
-    src: int
-    dst: int
-    kind: str            # "app" | "token" | "control"
-    payload: Any
-    send_time: float
-    latency_override: float | None = None
 
 
 class Network:

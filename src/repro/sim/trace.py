@@ -1,118 +1,10 @@
-"""Protocol-independent ground-truth event trace.
+"""Compatibility shim: the trace model lives in :mod:`repro.runtime.trace`.
 
-Every simulation records what *actually happened* -- sends, deliveries,
-crashes, restarts, rollbacks, discards -- into a :class:`SimTrace`.  The
-analysis oracles (:mod:`repro.analysis`) reconstruct the extended
-happen-before relation of the paper's Section 3 from this trace alone and
-check the protocol's behaviour against it.  Protocols therefore cannot
-"grade their own homework": the trace is written by the substrate and by
-thin, audited hooks, not by protocol logic.
+The ground-truth event trace is engine-agnostic (live runs record the same
+events over real sockets), so the canonical home moved out of the
+simulation package.  Importing from here keeps working.
 """
 
-from __future__ import annotations
+from repro.runtime.trace import EventKind, SimTrace, TraceEvent
 
-from dataclasses import dataclass, field
-from enum import Enum
-from typing import Any, Iterable, Iterator
-
-
-class EventKind(Enum):
-    """The vocabulary of trace events."""
-
-    SEND = "send"                  # application message handed to network
-    DELIVER = "deliver"            # application message delivered to the app
-    DISCARD = "discard"            # message rejected (obsolete / duplicate)
-    POSTPONE = "postpone"          # delivery delayed pending a token
-    CRASH = "crash"                # process failed, volatile state lost
-    RESTORE = "restore"            # checkpoint restored (precedes replay)
-    RESTART = "restart"            # failed process restored and running again
-    ROLLBACK = "rollback"          # non-failed process undid orphan states
-    CHECKPOINT = "checkpoint"      # state saved to stable storage
-    LOG_FLUSH = "log_flush"        # volatile message log forced to stable
-    TOKEN_SEND = "token_send"      # recovery token broadcast
-    TOKEN_DELIVER = "token_deliver"
-    STATE = "state"                # new state interval began
-    OUTPUT = "output"              # output committed to the environment
-    PARTITION = "partition"        # network partition imposed
-    HEAL = "heal"                  # network partition healed
-    CUSTOM = "custom"
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded occurrence.
-
-    ``fields`` carries kind-specific data (message ids, state ids, version
-    numbers).  Keeping it a plain dict keeps the trace schema-free; the
-    analysis layer documents the keys each oracle requires.
-    """
-
-    seq: int
-    time: float
-    kind: EventKind
-    pid: int
-    fields: dict[str, Any] = field(default_factory=dict)
-
-    def __getitem__(self, key: str) -> Any:
-        return self.fields[key]
-
-    def get(self, key: str, default: Any = None) -> Any:
-        return self.fields.get(key, default)
-
-
-class SimTrace:
-    """Append-only event log with query helpers."""
-
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
-
-    def record(
-        self, time: float, kind: EventKind, pid: int, **fields: Any
-    ) -> TraceEvent:
-        event = TraceEvent(
-            seq=len(self._events), time=time, kind=kind, pid=pid, fields=fields
-        )
-        self._events.append(event)
-        return event
-
-    def __len__(self) -> int:
-        return len(self._events)
-
-    def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
-
-    def events(
-        self,
-        kind: EventKind | None = None,
-        pid: int | None = None,
-    ) -> list[TraceEvent]:
-        """Events filtered by kind and/or process id, in order."""
-        result: Iterable[TraceEvent] = self._events
-        if kind is not None:
-            result = (e for e in result if e.kind is kind)
-        if pid is not None:
-            result = (e for e in result if e.pid == pid)
-        return list(result)
-
-    def count(self, kind: EventKind, pid: int | None = None) -> int:
-        return len(self.events(kind, pid))
-
-    def last(self, kind: EventKind, pid: int | None = None) -> TraceEvent | None:
-        matches = self.events(kind, pid)
-        return matches[-1] if matches else None
-
-    def signature(self) -> str:
-        """A deterministic digest of the whole trace.
-
-        Two runs with the same seed must produce equal signatures; the
-        determinism tests rely on this.
-        """
-        import hashlib
-
-        h = hashlib.blake2b(digest_size=16)
-        for e in self._events:
-            h.update(
-                f"{e.seq}|{e.time!r}|{e.kind.value}|{e.pid}|"
-                f"{sorted(e.fields.items())!r}\n".encode("utf-8")
-            )
-        return h.hexdigest()
+__all__ = ["EventKind", "SimTrace", "TraceEvent"]

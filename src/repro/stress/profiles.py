@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.apps import BankApp, PingPongApp, PipelineApp, RandomRoutingApp
-from repro.sim.process import Application
+from repro.runtime.app import Application
 
 #: Workload name -> factory(n).  Every app here is piecewise-deterministic
 #: and safe under any of the generated failure schedules.

@@ -148,7 +148,7 @@ class ScenarioBuilder:
             ProcessHost(pid, sim, network, trace) for pid in range(self.n)
         ]
         protocols = [
-            self._protocol_cls(host, self._app, self._config)
+            self._protocol_cls(host.runtime_env(), self._app, self._config)
             for host in hosts
         ]
         if self._crashes.events:

@@ -1,0 +1,102 @@
+"""Golden trace signatures: the engine refactor safety net.
+
+Every (protocol, conformance schedule) pair has a deterministic ground
+truth trace; its MD5 digest is pinned here.  These digests were captured
+before the protocols were ported onto :class:`RuntimeEnv`, so a mismatch
+means an engine or protocol change altered the *semantics* of a run --
+event order, timing, or content -- not just its implementation.
+
+If a change is *supposed* to alter execution (a protocol fix, a new
+event), re-pin by printing ``result.trace.signature()`` for the failing
+pairs and updating the table in the same commit, with the reason in the
+commit message.
+"""
+
+import pytest
+
+from repro.harness.conformance import (
+    CONFORMANCE_SCHEDULES,
+    PROTOCOL_REGISTRY,
+    build_conformance_spec,
+)
+from repro.harness.runner import run_experiment
+
+GOLDEN = {
+    "causal/double-sequential-crash": "0700c6770080bc95ee5ca4519f60c312",
+    "causal/early-crash-mid-stage": "975aaaa82452ff5f87be87008a48611d",
+    "causal/late-crash-final-stage": "fe368d660646e97c022cd8ea7d6cbf6d",
+    "coordinated/double-sequential-crash":
+        "de08c384ef99736b30d234e668a4fd1c",
+    "coordinated/early-crash-mid-stage":
+        "f35483435aa4476bfa5545fc5fe6ec4d",
+    "coordinated/late-crash-final-stage":
+        "1d2dcd77cfe516217d401d101bb2da81",
+    "damani-garg/double-sequential-crash":
+        "830394fd81c78ad715415ec86263083d",
+    "damani-garg/early-crash-mid-stage":
+        "2a257e166077d9fb7a98db9a46fc4c96",
+    "damani-garg/late-crash-final-stage":
+        "d3a467238fb4eb43fa9c2e7204fbabdc",
+    "pessimistic/double-sequential-crash":
+        "5654e423adc2d7b96106af20beaa6103",
+    "pessimistic/early-crash-mid-stage":
+        "0fe0265659db1d9819b18f9e903dce70",
+    "pessimistic/late-crash-final-stage":
+        "384308b54f9dea12f806c2ef3c1afc30",
+    "peterson-kearns/double-sequential-crash":
+        "04254a8bb9ace5427745ecebe10ae457",
+    "peterson-kearns/early-crash-mid-stage":
+        "e0b972345ec5d2e9d911c573ccf0937f",
+    "peterson-kearns/late-crash-final-stage":
+        "bbae3a4f281807a92f5b4260f128b1ca",
+    "sender-based/double-sequential-crash":
+        "e58aa6ff71a22bdd17e775e1d96ee4e0",
+    "sender-based/early-crash-mid-stage":
+        "184156ee5712ff03f821872cfa3aee65",
+    "sender-based/late-crash-final-stage":
+        "d2b095cbe65f07cc493462dd6b999312",
+    "sistla-welch/double-sequential-crash":
+        "98212086a004da1aecbce613e4d7db5d",
+    "sistla-welch/early-crash-mid-stage":
+        "db9ebdb82856fc5a6455ccec97b400b2",
+    "sistla-welch/late-crash-final-stage":
+        "a1e5734667187767352a264785078080",
+    "smith-johnson-tygar/double-sequential-crash":
+        "830394fd81c78ad715415ec86263083d",
+    "smith-johnson-tygar/early-crash-mid-stage":
+        "2a257e166077d9fb7a98db9a46fc4c96",
+    "smith-johnson-tygar/late-crash-final-stage":
+        "d3a467238fb4eb43fa9c2e7204fbabdc",
+    "strom-yemini/double-sequential-crash":
+        "a633e5758a6ad4f2dff2a967c107d68a",
+    "strom-yemini/early-crash-mid-stage":
+        "2a95b04554e4d1db81b135c9392c67c6",
+    "strom-yemini/late-crash-final-stage":
+        "78a2fe67c7972e398b80530e7e2da605",
+}
+
+
+def test_every_registry_pair_is_pinned():
+    expected = {
+        f"{name}/{schedule.name}"
+        for name in PROTOCOL_REGISTRY
+        for schedule in CONFORMANCE_SCHEDULES
+    }
+    assert expected == set(GOLDEN), (
+        "registry/schedule changed: pin signatures for the new pairs"
+    )
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_trace_signature_matches_golden(key):
+    protocol_name, _, schedule_name = key.partition("/")
+    schedule = next(
+        s for s in CONFORMANCE_SCHEDULES if s.name == schedule_name
+    )
+    spec = build_conformance_spec(
+        PROTOCOL_REGISTRY[protocol_name], schedule
+    )
+    result = run_experiment(spec)
+    assert result.trace.signature() == GOLDEN[key], (
+        f"{key}: deterministic execution changed"
+    )

@@ -1,0 +1,108 @@
+"""Length-prefixed framing: round trips, EOF semantics, the size cap."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.live.framing import (
+    MAX_FRAME,
+    FramingError,
+    frame,
+    read_frame,
+    write_frame,
+)
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_frame_prefixes_length():
+    framed = frame(b"abc")
+    assert framed == struct.pack(">I", 3) + b"abc"
+
+
+def test_frame_rejects_oversize():
+    with pytest.raises(FramingError):
+        frame(b"x" * (MAX_FRAME + 1))
+
+
+def test_read_roundtrip():
+    async def go():
+        reader = _reader_with(frame(b"one") + frame(b"") + frame(b"two"))
+        assert await read_frame(reader) == b"one"
+        assert await read_frame(reader) == b""
+        assert await read_frame(reader) == b"two"
+        assert await read_frame(reader) is None   # clean EOF
+
+    _run(go())
+
+
+def test_eof_at_boundary_is_none_not_error():
+    async def go():
+        assert await read_frame(_reader_with(b"")) is None
+
+    _run(go())
+
+
+def test_truncated_header_raises():
+    async def go():
+        with pytest.raises(FramingError):
+            await read_frame(_reader_with(b"\x00\x00"))
+
+    _run(go())
+
+
+def test_truncated_body_raises():
+    async def go():
+        data = frame(b"hello")[:-2]
+        with pytest.raises(FramingError):
+            await read_frame(_reader_with(data))
+
+    _run(go())
+
+
+def test_oversize_incoming_frame_rejected_before_read():
+    async def go():
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(FramingError):
+            await read_frame(_reader_with(header))
+
+    _run(go())
+
+
+def test_write_and_read_over_a_real_socket():
+    async def go():
+        received = []
+        done = asyncio.Event()
+
+        async def handler(reader, writer):
+            while True:
+                data = await read_frame(reader)
+                if data is None:
+                    break
+                received.append(data)
+            writer.close()
+            done.set()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        _, writer = await asyncio.open_connection("127.0.0.1", port)
+        await write_frame(writer, b"first")
+        await write_frame(writer, b"second")
+        writer.close()
+        await writer.wait_closed()
+        await asyncio.wait_for(done.wait(), timeout=5)
+        server.close()
+        await server.wait_closed()
+        assert received == [b"first", b"second"]
+
+    _run(go())

@@ -1,0 +1,116 @@
+"""LiveEnv: clock, message ids, broadcast fan-out, event-loop timers."""
+
+import asyncio
+import time
+
+from repro.live.env import LiveEnv, LiveTrace, merge_traces
+from repro.runtime.env import RuntimeEnv
+from repro.runtime.message import NetworkMessage
+from repro.runtime.trace import EventKind
+
+
+class FakeTransport:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, dst, msg):
+        self.sent.append((dst, msg))
+
+    def attach(self, protocol):
+        self.protocol = protocol
+
+
+def _env(pid=0, n=4, crash_count=0, epoch=None):
+    return LiveEnv(
+        pid=pid,
+        n=n,
+        storage=None,
+        transport=FakeTransport(),
+        epoch=time.time() if epoch is None else epoch,
+        crash_count=crash_count,
+    )
+
+
+def test_is_a_runtime_env():
+    assert isinstance(_env(), RuntimeEnv)
+
+
+def test_now_is_relative_to_epoch():
+    env = _env(epoch=time.time() - 10.0)
+    assert 9.5 < env.now < 11.0
+
+
+def test_alive_is_always_true():
+    assert _env().alive is True
+
+
+def test_send_builds_the_envelope():
+    env = _env(pid=2)
+    msg = env.send(3, "payload", kind="token")
+    assert isinstance(msg, NetworkMessage)
+    assert (msg.src, msg.dst, msg.kind, msg.payload) == (2, 3, "token",
+                                                         "payload")
+    assert env.transport.sent == [(3, msg)]
+
+
+def test_broadcast_excludes_self_by_default():
+    env = _env(pid=1, n=4)
+    sent = env.broadcast("tok")
+    assert [m.dst for m in sent] == [0, 2, 3]
+    included = env.broadcast("tok", include_self=True)
+    assert [m.dst for m in included] == [0, 1, 2, 3]
+
+
+def test_msg_ids_unique_across_pids_and_incarnations():
+    ids = set()
+    for pid in range(3):
+        for boot in range(3):
+            env = _env(pid=pid, crash_count=boot)
+            for _ in range(5):
+                msg = env.send(0, "x")
+                assert msg.msg_id not in ids
+                ids.add(msg.msg_id)
+
+
+def test_schedule_after_fires_on_the_loop():
+    async def go():
+        env = _env()
+        fired = asyncio.Event()
+        handle = env.schedule_after(0.01, fired.set)
+        assert handle.time >= env.now
+        await asyncio.wait_for(fired.wait(), timeout=2)
+
+    asyncio.run(go())
+
+
+def test_cancelled_timer_does_not_fire():
+    async def go():
+        env = _env()
+        fired = []
+        handle = env.schedule_after(0.02, lambda: fired.append(1))
+        handle.cancel()
+        assert handle.cancelled
+        await asyncio.sleep(0.08)
+        assert fired == []
+
+    asyncio.run(go())
+
+
+def test_trace_roundtrip_through_merge(tmp_path):
+    path_a = str(tmp_path / "a.jsonl")
+    path_b = str(tmp_path / "b.jsonl")
+    with open(path_a, "w", encoding="utf-8") as fh:
+        trace = LiveTrace(fh)
+        trace.record(1.0, EventKind.SEND, 0, value=("done", 3, 12))
+        trace.record(3.0, EventKind.OUTPUT, 0, value=("done", 3, 12))
+    with open(path_b, "w", encoding="utf-8") as fh:
+        trace = LiveTrace(fh)
+        trace.record(2.0, EventKind.CRASH, 1, count=1)
+
+    merged = merge_traces([path_a, path_b])
+    events = merged.events()
+    assert [e.kind for e in events] == [
+        EventKind.SEND, EventKind.CRASH, EventKind.OUTPUT
+    ]
+    # Tuples survive the codec round trip (the oracles depend on it).
+    assert merged.events(EventKind.OUTPUT)[0].get("value") == ("done", 3, 12)

@@ -1,0 +1,87 @@
+"""check_live_run: the trace oracles for live executions."""
+
+from repro.apps.applications import mix64
+from repro.live.verify import check_live_run, pipeline_reference
+from repro.runtime.trace import EventKind, SimTrace
+
+
+def _good_trace(n=2, jobs=2):
+    trace = SimTrace()
+    expected = pipeline_reference(n, jobs)
+    for job, value in expected.items():
+        trace.record(1.0 + job, EventKind.OUTPUT, n - 1,
+                     value=("done", job, value))
+    return trace
+
+
+def test_reference_matches_mix64_chain():
+    expected = pipeline_reference(3, 1)
+    value = mix64(0, 0)
+    value = mix64(value, 2)
+    value = mix64(value, 3)
+    assert expected[0] == value
+
+
+def test_clean_run_passes():
+    verdict = check_live_run(_good_trace(), n=2, jobs=2)
+    assert verdict.ok, verdict.failures
+    assert verdict.outputs_committed == 2
+    assert verdict.summary().startswith("PASS")
+
+
+def test_missing_job_fails():
+    trace = SimTrace()
+    expected = pipeline_reference(2, 2)
+    trace.record(1.0, EventKind.OUTPUT, 1, value=("done", 0, expected[0]))
+    verdict = check_live_run(trace, n=2, jobs=2)
+    assert not verdict.ok
+    assert any("never produced output" in f for f in verdict.failures)
+
+
+def test_orphan_output_value_fails():
+    trace = _good_trace()
+    trace.record(9.0, EventKind.OUTPUT, 1, value=("done", 0, 12345))
+    verdict = check_live_run(trace, n=2, jobs=2)
+    assert not verdict.ok
+    assert any("orphan output" in f for f in verdict.failures)
+
+
+def test_duplicate_outputs_are_counted_but_allowed():
+    trace = _good_trace()
+    expected = pipeline_reference(2, 2)
+    trace.record(9.0, EventKind.OUTPUT, 1, value=("done", 0, expected[0]))
+    verdict = check_live_run(trace, n=2, jobs=2)
+    assert verdict.ok
+    assert verdict.duplicate_outputs == 1
+
+
+def test_crash_without_restart_fails():
+    trace = _good_trace()
+    trace.record(0.5, EventKind.CRASH, 0, count=1)
+    verdict = check_live_run(trace, n=2, jobs=2)
+    assert not verdict.ok
+    assert any("never restarted" in f for f in verdict.failures)
+    assert any("without broadcasting a token" in f
+               for f in verdict.failures)
+
+
+def test_crash_with_full_recovery_passes():
+    trace = _good_trace()
+    trace.record(0.5, EventKind.CRASH, 0, count=1)
+    trace.record(0.9, EventKind.TOKEN_SEND, 0, version=1)
+    trace.record(1.0, EventKind.RESTART, 0, version=1)
+    trace.record(1.0, EventKind.CHECKPOINT, 0)
+    verdict = check_live_run(trace, n=2, jobs=2)
+    assert verdict.ok, verdict.failures
+    assert verdict.crashes == 1
+    assert verdict.restarts == 1
+
+
+def test_restart_without_checkpoint_fails():
+    trace = _good_trace()
+    trace.record(0.5, EventKind.CRASH, 0, count=1)
+    trace.record(0.9, EventKind.TOKEN_SEND, 0, version=1)
+    trace.record(1.0, EventKind.RESTART, 0, version=1)
+    verdict = check_live_run(trace, n=2, jobs=2)
+    assert not verdict.ok
+    assert any("post-restart checkpoint" in f for f in verdict.failures)

@@ -1,0 +1,68 @@
+"""The pre-RuntimeEnv attribute paths still work, but warn.
+
+Removal is scheduled for the next major version; until then downstream
+code using ``protocol.host`` / ``protocol.sim`` / ``host.attach`` keeps
+working and gets a :class:`DeprecationWarning` naming the replacement.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.recovery import DamaniGargProcess
+from repro.harness.scenarios import ScriptedApp
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import ProcessHost
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def host():
+    sim = Simulator()
+    network = Network(sim, 1, streams=RandomStreams(0))
+    return ProcessHost(0, sim, network)
+
+
+@pytest.fixture
+def protocol(host):
+    return DamaniGargProcess(host.runtime_env(), ScriptedApp())
+
+
+def test_protocol_host_warns_but_works(protocol, host):
+    with pytest.warns(DeprecationWarning, match="protocol.env"):
+        assert protocol.host is host
+
+
+def test_protocol_sim_warns_but_works(protocol, host):
+    with pytest.warns(DeprecationWarning, match="protocol.env"):
+        assert protocol.sim is host.sim
+
+
+def test_host_attach_warns_but_works(host):
+    sim = Simulator()
+    network = Network(sim, 1, streams=RandomStreams(0))
+    other = ProcessHost(0, sim, network)
+    env = other.runtime_env()
+    protocol = DamaniGargProcess.__new__(DamaniGargProcess)
+    with pytest.warns(DeprecationWarning, match="RuntimeEnv"):
+        other.attach(protocol)
+    assert other.protocol is protocol
+
+
+def test_legacy_host_construction_still_works(host):
+    # Passing the ProcessHost itself (the pre-env constructor signature)
+    # must keep working -- it routes through host.runtime_env().
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")   # and without warning: supported
+        protocol = DamaniGargProcess(host, ScriptedApp())
+    assert protocol.env is host.runtime_env()
+    assert protocol.pid == 0
+
+
+def test_env_path_does_not_warn(protocol):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert protocol.env.alive
+        assert protocol.env.now == 0.0
+        protocol.env.schedule_after(1.0, lambda: None)

@@ -1,0 +1,129 @@
+"""Unit tests for the :class:`RuntimeEnv` default method implementations.
+
+The defaults (``schedule_at``, ``suspend_timer``, ``resume_timer``) are
+what a third-party engine inherits, so they are tested against a minimal
+fake engine rather than through the simulator.
+"""
+
+from repro.runtime.env import RuntimeEnv, TimerHandle
+
+
+class _FakeTimer:
+    def __init__(self, time, callback):
+        self.time_ = time
+        self.callback = callback
+        self._cancelled = False
+
+    @property
+    def time(self):
+        return self.time_
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+    def cancel(self):
+        self._cancelled = True
+
+
+class _FakeEnv(RuntimeEnv):
+    """Deliberately bare engine: only the abstract minimum, no overrides."""
+
+    def __init__(self):
+        self.pid = 0
+        self.n = 1
+        self.storage = None
+        self.trace = None
+        self.clock = 0.0
+        self.timers = []
+
+    @property
+    def now(self):
+        return self.clock
+
+    @property
+    def alive(self):
+        return True
+
+    @property
+    def crash_count(self):
+        return 0
+
+    @property
+    def tracer(self):
+        return None
+
+    def send(self, dst, payload, *, kind="app", latency=None):
+        raise NotImplementedError
+
+    def broadcast(self, payload, *, kind="token", include_self=False):
+        raise NotImplementedError
+
+    def schedule_after(self, delay, callback, *, priority=0, label=""):
+        timer = _FakeTimer(self.clock + delay, callback)
+        self.timers.append(timer)
+        return timer
+
+    def attach(self, protocol):
+        raise NotImplementedError
+
+
+def test_timer_handle_protocol_matches_fake():
+    assert isinstance(_FakeTimer(1.0, lambda: None), TimerHandle)
+
+
+def test_schedule_at_converts_to_delay():
+    env = _FakeEnv()
+    env.clock = 3.0
+    handle = env.schedule_at(10.0, lambda: None)
+    assert handle.time == 10.0
+
+
+def test_schedule_at_in_the_past_fires_now():
+    env = _FakeEnv()
+    env.clock = 5.0
+    handle = env.schedule_at(1.0, lambda: None)
+    assert handle.time == 5.0
+
+
+def test_suspend_cancels_and_remembers_deadline():
+    env = _FakeEnv()
+    pending = env.schedule_after(4.0, lambda: None)
+    suspended = env.suspend_timer(pending, interval=4.0)
+    assert pending.cancelled
+    assert suspended.time == 4.0
+    assert not suspended.cancelled
+    suspended.cancel()
+    assert suspended.cancelled
+
+
+def test_resume_keeps_the_chain_phase():
+    # Chain fired at 4, 8, ... with a deadline pending at 12 when the
+    # owner went down; resuming at now=17 must fire at 20 (the next
+    # multiple of the interval counted from the old deadline), not 21.
+    env = _FakeEnv()
+    pending = env.schedule_after(12.0, lambda: None)
+    suspended = env.suspend_timer(pending, interval=4.0)
+    env.clock = 17.0
+    resumed = env.resume_timer(suspended, 4.0, lambda: None)
+    assert resumed.time == 20.0
+
+
+def test_resume_before_the_old_deadline_keeps_it():
+    env = _FakeEnv()
+    pending = env.schedule_after(12.0, lambda: None)
+    suspended = env.suspend_timer(pending, interval=4.0)
+    env.clock = 9.0
+    resumed = env.resume_timer(suspended, 4.0, lambda: None)
+    assert resumed.time == 12.0
+
+
+def test_resumed_callback_is_the_new_one():
+    fired = []
+    env = _FakeEnv()
+    pending = env.schedule_after(2.0, lambda: fired.append("old"))
+    suspended = env.suspend_timer(pending, interval=2.0)
+    env.clock = 3.0
+    resumed = env.resume_timer(suspended, 2.0, lambda: fired.append("new"))
+    resumed.callback()
+    assert fired == ["new"]

@@ -1,0 +1,68 @@
+"""Layering guard: engine-neutral packages must not import an engine.
+
+``repro.core``, ``repro.clocks``, ``repro.protocols`` and ``repro.runtime``
+are the portable layers -- everything they need from an engine comes
+through :class:`~repro.runtime.env.RuntimeEnv`.  A direct import of
+``repro.sim`` or ``repro.live`` from any of them would silently re-couple
+the protocols to one engine, so this test walks the AST of every module
+in those packages and fails on any such import (including ones hidden
+inside functions or ``TYPE_CHECKING`` blocks -- lazy imports are how
+layering violations usually sneak in).
+"""
+
+import ast
+import os
+
+import pytest
+
+import repro
+
+SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+PORTABLE_PACKAGES = ["core", "clocks", "protocols", "runtime"]
+FORBIDDEN_PREFIXES = ("repro.sim", "repro.live")
+
+
+def _python_files(package: str):
+    root = os.path.join(SRC_ROOT, package)
+    for dirpath, _, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _imported_modules(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level == 0:
+                yield node.module
+
+
+@pytest.mark.parametrize("package", PORTABLE_PACKAGES)
+def test_portable_package_does_not_import_an_engine(package):
+    violations = []
+    for path in _python_files(package):
+        for module in _imported_modules(path):
+            if module.startswith(FORBIDDEN_PREFIXES):
+                rel = os.path.relpath(path, SRC_ROOT)
+                violations.append(f"{rel} imports {module}")
+    assert not violations, (
+        f"repro.{package} must stay engine-agnostic; route engine access "
+        f"through RuntimeEnv instead of: " + "; ".join(violations)
+    )
+
+
+def test_engines_do_not_import_each_other():
+    violations = []
+    for package, forbidden in [("sim", "repro.live"), ("live", "repro.sim")]:
+        for path in _python_files(package):
+            for module in _imported_modules(path):
+                if module.startswith(forbidden):
+                    rel = os.path.relpath(path, SRC_ROOT)
+                    violations.append(f"{rel} imports {module}")
+    assert not violations, "; ".join(violations)

@@ -12,11 +12,68 @@ def test_version():
     assert repro.__version__ == "1.0.0"
 
 
+# The frozen top-level surface.  Removing or renaming any of these names
+# is a breaking change and must bump the major version; additions belong
+# here too so the freeze stays exact.
+FROZEN_TOP_LEVEL = [
+    "AppEnvelope",
+    "Application",
+    "BaseRecoveryProcess",
+    "ClockEntry",
+    "CrashPlan",
+    "DamaniGargProcess",
+    "DeliveryOrder",
+    "EventKind",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FailureInjector",
+    "FaultTolerantVectorClock",
+    "History",
+    "HistoryRecord",
+    "LiveEnv",
+    "Network",
+    "NetworkMessage",
+    "NullTracer",
+    "PartitionPlan",
+    "ProcessContext",
+    "ProcessHost",
+    "ProtocolConfig",
+    "ProtocolStats",
+    "RecordKind",
+    "RecoveryToken",
+    "RuntimeEnv",
+    "SimEnv",
+    "SimTrace",
+    "Simulator",
+    "TimerHandle",
+    "TraceEvent",
+    "Tracer",
+    "run_experiment",
+    "__version__",
+]
+
+
+def test_top_level_all_is_frozen():
+    assert sorted(repro.__all__) == sorted(FROZEN_TOP_LEVEL)
+
+
 def test_top_level_all_resolves():
     for name in repro.__all__:
         if name.startswith("__"):
             continue
         assert hasattr(repro, name), name
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.NoSuchName  # noqa: B018
+
+
+def test_env_implementations_share_the_interface():
+    from repro import LiveEnv, RuntimeEnv, SimEnv
+
+    assert issubclass(SimEnv, RuntimeEnv)
+    assert issubclass(LiveEnv, RuntimeEnv)
 
 
 PUBLIC_MODULES = [
@@ -37,7 +94,39 @@ PUBLIC_MODULES = [
     "repro.stress",
     "repro.exec",
     "repro.testing",
+    "repro.runtime",
+    "repro.runtime.env",
+    "repro.live",
 ]
+
+
+# The frozen RuntimeEnv protocol surface: everything an engine must
+# provide and everything a protocol may call.
+FROZEN_RUNTIME_ENV = [
+    "alive",
+    "attach",
+    "broadcast",
+    "crash_count",
+    "n",
+    "now",
+    "pid",
+    "resume_timer",
+    "schedule_after",
+    "schedule_at",
+    "send",
+    "storage",
+    "suspend_timer",
+    "tracer",
+]
+
+
+def test_runtime_env_surface_is_frozen():
+    from repro.runtime import RuntimeEnv
+
+    for name in FROZEN_RUNTIME_ENV:
+        assert hasattr(RuntimeEnv, name) or name in getattr(
+            RuntimeEnv, "__annotations__", {}
+        ), f"RuntimeEnv.{name} missing"
 
 
 @pytest.mark.parametrize("module_name", PUBLIC_MODULES)

@@ -15,7 +15,11 @@ Subcommands:
                   failures shrunk to replayable JSON reproducers;
 - ``exec-bench`` -- benchmark the parallel execution engine itself:
                   run one seed block serially and in parallel, verify the
-                  results are bit-identical, emit ``BENCH_exec.json``.
+                  results are bit-identical, emit ``BENCH_exec.json``;
+- ``wire-bench`` -- wire & storage fast path: delta-clock piggyback cost
+                  on stress-mix plus before/after live cluster runs
+                  (JSON vs binary frames, per-mutation vs group-commit
+                  fsyncs), emitting ``BENCH_wire.json``.
 
 Examples::
 
@@ -415,6 +419,57 @@ def cmd_live_bench(args: argparse.Namespace) -> int:
     ) else 1
 
 
+def cmd_wire_bench(args: argparse.Namespace) -> int:
+    """Wire/storage fast-path benchmark; emit BENCH_wire.json."""
+    import tempfile
+
+    from repro.live.wirebench import write_wire_bench
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-wire-bench-")
+    payload = write_wire_bench(
+        args.out,
+        workdir,
+        n=args.n,
+        jobs=args.jobs,
+        run_seconds=args.run_seconds,
+        seed=args.seed,
+        skip_live=args.skip_live,
+    )
+    pig = payload["piggyback"]
+    print(
+        f"piggyback (stress-mix): {pig['full_json_bytes_per_msg']} B/msg "
+        f"full JSON vs {pig['delta_bytes_per_msg']} B/msg delta "
+        f"({pig['reduction_factor']}x smaller, "
+        f"{pig['full_clock_fallbacks']} full-clock fallbacks)"
+    )
+    ok = True
+    if pig["reduction_factor"] is None or pig["reduction_factor"] < (
+        args.min_piggyback_reduction or 0.0
+    ):
+        print(
+            f"FAIL: piggyback reduction below the "
+            f"--min-piggyback-reduction floor "
+            f"{args.min_piggyback_reduction}"
+        )
+        ok = False
+    for name, pair in payload.get("live", {}).items():
+        before, after = pair["before"], pair["after"]
+        print(f"{name}:")
+        for label, rep in (("before", before), ("after", after)):
+            print(
+                f"  {label:6s} [{rep['wire_format']}, "
+                f"window={rep['storage_flush_window']}]: "
+                f"{rep['app_deliveries']} deliveries "
+                f"({rep['deliveries_per_second']}/s), "
+                f"{rep['fsyncs_per_delivery']} fsyncs/delivery, "
+                f"{rep['wire_bytes_per_delivery']} wire B/delivery -- "
+                f"{'ok' if rep['ok'] else 'ORACLE FAIL'}"
+            )
+            ok = ok and rep["ok"]
+    print(f"written: {args.out}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -556,6 +611,25 @@ def build_parser() -> argparse.ArgumentParser:
     live_bench.add_argument("--out", default="BENCH_live.json")
     live_bench.add_argument("--workdir", default=None)
     live_bench.set_defaults(func=cmd_live_bench)
+
+    wire_bench = sub.add_parser(
+        "wire-bench",
+        help="wire/storage fast-path benchmark (BENCH_wire.json)",
+    )
+    wire_bench.add_argument("-n", type=int, default=4)
+    wire_bench.add_argument("--jobs", type=int, default=64)
+    wire_bench.add_argument("--run-seconds", type=float, default=6.0)
+    wire_bench.add_argument("--seed", type=int, default=None,
+                            help="stress-mix seed for the piggyback section")
+    wire_bench.add_argument("--skip-live", action="store_true",
+                            help="piggyback section only (no TCP clusters)")
+    wire_bench.add_argument("--min-piggyback-reduction", type=float,
+                            default=None, metavar="FACTOR",
+                            help="fail unless delta clocks shrink piggyback "
+                                 "bytes/msg by at least this factor")
+    wire_bench.add_argument("--out", default="BENCH_wire.json")
+    wire_bench.add_argument("--workdir", default=None)
+    wire_bench.set_defaults(func=cmd_wire_bench)
     return parser
 
 

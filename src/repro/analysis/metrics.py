@@ -28,6 +28,10 @@ class OverheadReport:
     control_messages: int
     piggyback_entries_total: int
     piggyback_bits_total: int
+    # Clock bits under the per-link delta encoding (full clock on the
+    # first send of a link and after crashes, diffs otherwise).  Zero
+    # for protocols that do not implement the delta scheme.
+    piggyback_delta_bits_total: int
     history_records_max: int
     history_bound: int              # n * (max failures of any process + 1)
     checkpoints_taken: int
@@ -48,6 +52,27 @@ class OverheadReport:
         if not self.app_messages:
             return 0.0
         return self.piggyback_bits_total / self.app_messages
+
+    @property
+    def wire_bytes_per_message(self) -> float:
+        """Full-clock piggyback cost per app message, in bytes."""
+        if not self.app_messages:
+            return 0.0
+        return self.piggyback_bits_total / 8 / self.app_messages
+
+    @property
+    def delta_wire_bytes_per_message(self) -> float | None:
+        """Delta-encoded piggyback cost per app message (None if the
+        protocol does not delta-encode its clocks)."""
+        if not self.app_messages or not self.piggyback_delta_bits_total:
+            return None
+        return self.piggyback_delta_bits_total / 8 / self.app_messages
+
+    @property
+    def fsyncs_per_message(self) -> float:
+        if not self.app_messages:
+            return 0.0
+        return self.sync_writes / self.app_messages
 
     @property
     def control_messages_per_failure(self) -> float:
@@ -72,6 +97,11 @@ class OverheadReport:
             self.piggyback_entries_per_message
         )
         out["piggyback_bits_per_message"] = self.piggyback_bits_per_message
+        out["wire_bytes_per_message"] = self.wire_bytes_per_message
+        out["delta_wire_bytes_per_message"] = (
+            self.delta_wire_bytes_per_message
+        )
+        out["fsyncs_per_message"] = self.fsyncs_per_message
         out["control_messages_per_failure"] = (
             self.control_messages_per_failure
         )
@@ -97,6 +127,7 @@ def measure_overhead(result: ExperimentResult) -> OverheadReport:
         control_messages=result.total("control_sent"),
         piggyback_entries_total=result.total("piggyback_entries"),
         piggyback_bits_total=result.total("piggyback_bits"),
+        piggyback_delta_bits_total=result.total("piggyback_delta_bits"),
         history_records_max=history_max,
         history_bound=result.spec.n * (max_per_process_failures + 1),
         checkpoints_taken=sum(

@@ -154,6 +154,39 @@ class FaultTolerantVectorClock:
         return not (self <= other) and not (other <= self)
 
     # ------------------------------------------------------------------
+    # Delta encoding (wire fast path)
+    # ------------------------------------------------------------------
+    def diff(
+        self, base: "FaultTolerantVectorClock"
+    ) -> tuple[tuple[int, int, int], ...]:
+        """Entries differing from ``base`` as ``(index, version, timestamp)``.
+
+        A sender that knows the last clock it put on a link can transmit
+        only this diff; between consecutive messages on one link usually
+        just the sender's own entry moved, so the diff is O(1) where the
+        full clock is O(n).
+        """
+        if len(base) != len(self):
+            raise ValueError("FTVC length mismatch")
+        return tuple(
+            (i, e.version, e.timestamp)
+            for i, (b, e) in enumerate(zip(base._entries, self._entries))
+            if e != b
+        )
+
+    @classmethod
+    def from_delta(
+        cls,
+        base: "FaultTolerantVectorClock",
+        changes: Iterable[tuple[int, int, int]],
+    ) -> "FaultTolerantVectorClock":
+        """Invert :meth:`diff`: apply ``changes`` on top of ``base``."""
+        entries = list(base._entries)
+        for i, version, timestamp in changes:
+            entries[i] = ClockEntry(version, timestamp)
+        return cls(entries)
+
+    # ------------------------------------------------------------------
     # Overhead accounting (Section 6.9)
     # ------------------------------------------------------------------
     def piggyback_entries(self) -> int:
@@ -170,6 +203,56 @@ class FaultTolerantVectorClock:
         max_version = max(e.version for e in self._entries)
         version_bits = max(1, (max_version + 1 - 1).bit_length())
         return len(self._entries) * (timestamp_bits + version_bits)
+
+    def delta_wire_size_bits(
+        self, base: "FaultTolerantVectorClock", timestamp_bits: int = 32
+    ) -> int:
+        """Estimated encoded size of :meth:`diff` against ``base``.
+
+        Per changed entry: ``ceil(log2 n)`` index bits, the same version
+        bits as :meth:`wire_size_bits`, and ``timestamp_bits``; plus a
+        change-count field.  The counterpart of the full-clock estimate
+        for Section 6.9-style accounting of the delta scheme.
+        """
+        changes = self.diff(base)
+        n = len(self._entries)
+        index_bits = max(1, (n - 1).bit_length())
+        max_version = max((v for _, v, _ in changes), default=0)
+        version_bits = max(1, max_version.bit_length())
+        count_bits = max(1, n.bit_length())
+        return count_bits + len(changes) * (
+            index_bits + version_bits + timestamp_bits
+        )
+
+    @staticmethod
+    def _uvarint_size(value: int) -> int:
+        """Bytes a LEB128 varint needs for ``value`` (>= 0)."""
+        return max(1, (value.bit_length() + 6) // 7)
+
+    def wire_size_bytes(self) -> int:
+        """Exact byte cost of the full clock under the live binary codec:
+        a tag byte, a varint entry count, and one varint
+        ``(version, timestamp)`` pair per entry."""
+        size = self._uvarint_size
+        return (
+            1
+            + size(len(self._entries))
+            + sum(
+                size(e.version) + size(e.timestamp) for e in self._entries
+            )
+        )
+
+    def delta_wire_size_bytes(self, base: "FaultTolerantVectorClock") -> int:
+        """Exact byte cost of the delta frame against ``base`` under the
+        live binary codec: a tag byte, a varint change count, and one
+        varint ``(index, version, timestamp)`` triple per changed entry."""
+        changes = self.diff(base)
+        size = self._uvarint_size
+        return (
+            1
+            + size(len(changes))
+            + sum(size(i) + size(v) + size(t) for i, v, t in changes)
+        )
 
     def __repr__(self) -> str:
         inner = " ".join(repr(e) for e in self._entries)

@@ -26,7 +26,6 @@ per process.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from enum import Enum
 
@@ -63,6 +62,11 @@ class History:
         self.pid = pid
         self.n = n
         self._records: list[dict[int, HistoryRecord]] = [{} for _ in range(n)]
+        # Compaction floor per process: records for versions below the
+        # floor have been dropped (see compact()); a clock entry below
+        # the floor is treated as obsolete and a token below it as
+        # already-applied.
+        self._floor: list[int] = [0] * n
         # Figure 3 Initialize: (mes,0,0) for every process, (mes,0,1) for self.
         for j in range(n):
             self._records[j][0] = HistoryRecord(RecordKind.MESSAGE, 0, 0)
@@ -80,8 +84,16 @@ class History:
         return [self._records[j][v] for v in sorted(self._records[j])]
 
     def has_token(self, j: int, version: int) -> bool:
+        if version < self._floor[j]:
+            # Compaction precondition: every compacted version's token
+            # was observed before its record was dropped.
+            return True
         rec = self._records[j].get(version)
         return rec is not None and rec.kind is RecordKind.TOKEN
+
+    def floor(self, j: int) -> int:
+        """Versions of ``j`` below this have been compacted away."""
+        return self._floor[j]
 
     def size(self) -> int:
         """Total records held -- the O(n·f) quantity of Section 6.9."""
@@ -101,6 +113,11 @@ class History:
         if len(clock) != self.n:
             raise ValueError("clock length mismatch")
         for j, entry in enumerate(clock):
+            if entry.version < self._floor[j]:
+                # Below the compaction floor nothing is recorded; such a
+                # clock can only reach here through a replayed log entry
+                # whose original delivery predates the floor advance.
+                continue
             existing = self._records[j].get(entry.version)
             if existing is not None:
                 if existing.kind is RecordKind.TOKEN:
@@ -113,6 +130,10 @@ class History:
 
     def observe_token(self, token: RecoveryToken) -> None:
         """Receive-token rule: install the final record for that version."""
+        if token.version < self._floor[token.origin]:
+            # Already observed, applied, and compacted away (tokens are
+            # final per version, so a duplicate carries nothing new).
+            return
         self._records[token.origin][token.version] = HistoryRecord(
             RecordKind.TOKEN, token.version, token.timestamp
         )
@@ -122,8 +143,19 @@ class History:
     # ------------------------------------------------------------------
     def is_obsolete(self, clock: FaultTolerantVectorClock) -> bool:
         """Lemma 4: the message carrying ``clock`` is from a lost or orphan
-        state iff some entry exceeds a known token's restoration point."""
+        state iff some entry exceeds a known token's restoration point.
+
+        An entry below a compaction floor is treated as obsolete: the
+        compacted versions' restoration points are gone, so the exact
+        Lemma 4 comparison is no longer available, and delivering such a
+        message could make us an undetectable orphan (its record would
+        be skipped by the floor).  Conservative discard is the only safe
+        answer, and the floor only advances past versions whose tokens
+        were observed long enough ago for a stability sweep to run.
+        """
         for j, entry in enumerate(clock):
+            if entry.version < self._floor[j]:
+                return True
             rec = self._records[j].get(entry.version)
             if (
                 rec is not None
@@ -145,7 +177,9 @@ class History:
         """
         missing: list[tuple[int, int]] = []
         for j, entry in enumerate(clock):
-            for l in range(entry.version):
+            # Versions below the floor are known-tokened (compaction
+            # precondition), so the scan starts at the floor.
+            for l in range(self._floor[j], entry.version):
                 if not self.has_token(j, l):
                     missing.append((j, l))
         return missing
@@ -179,11 +213,68 @@ class History:
         return rec.timestamp <= token.timestamp
 
     # ------------------------------------------------------------------
+    # Compaction (Section 6.9)
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Drop records provably dead under the token-supersession rule.
+
+        For each process ``j``, scan the contiguous run of TOKEN records
+        starting at the current floor.  Every version in that run except
+        the newest has a token for a *newer* version sitting right above
+        it, which makes its record dead on all three paths:
+
+        - ``orphaned_by`` / ``survives_token`` (Lemma 3): the token was
+          observed and applied before compaction ran, so any orphan it
+          condemns has already rolled back; a duplicate token is a no-op.
+        - ``missing_tokens``: the floor certifies the token was seen.
+        - ``is_obsolete`` (Lemma 4): a clock entry below the floor is
+          answered conservatively -- obsolete -- instead of comparing
+          against the dropped restoration point.  Messages still carrying
+          such an entry depend on an incarnation at least two failures
+          old; discarding the stragglers is safe (dedup ids and Remark-1
+          retransmission make delivery at-least-once, and an orphaned
+          dependence *must* be discarded), it can only cost a delivery
+          that the exact test would have allowed.
+
+        The newest token of the run is kept: no newer token supersedes
+        it, and it is the live restoration point for Lemma 4.  MESSAGE
+        records are never compacted.  Returns the number of records
+        dropped.
+        """
+        dropped = 0
+        for j in range(self.n):
+            run_end = self._floor[j]
+            while True:
+                rec = self._records[j].get(run_end)
+                if rec is None or rec.kind is not RecordKind.TOKEN:
+                    break
+                run_end += 1
+            new_floor = run_end - 1     # keep the newest token of the run
+            if new_floor <= self._floor[j]:
+                continue
+            for version in range(self._floor[j], new_floor):
+                if self._records[j].pop(version, None) is not None:
+                    dropped += 1
+            self._floor[j] = new_floor
+        return dropped
+
+    # ------------------------------------------------------------------
     # Checkpoint support
     # ------------------------------------------------------------------
     def snapshot(self) -> "History":
-        """A deep copy, safe to store in a checkpoint."""
-        return copy.deepcopy(self)
+        """A copy safe to store in a checkpoint.
+
+        Structural copy, not ``copy.deepcopy``: records are frozen
+        dataclasses, so sharing them between snapshots is safe, and
+        snapshots run on every checkpoint -- this is the protocol's
+        hottest allocation site after the clock itself.
+        """
+        clone = History.__new__(History)
+        clone.pid = self.pid
+        clone.n = self.n
+        clone._records = [dict(per) for per in self._records]
+        clone._floor = list(self._floor)
+        return clone
 
     def __repr__(self) -> str:
         parts = []

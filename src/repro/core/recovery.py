@@ -43,6 +43,7 @@ retransmission is kept.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any
 
@@ -107,6 +108,11 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self._send_seq = 0                        # dedup id source
         self._delivered_ids: set[tuple[int, int]] = set()
         self._send_log: list[_SendLogEntry] = []  # Remark-1 send history
+        # Last clock put on the wire per destination, the delta-encoding
+        # base a link-level encoder would hold.  Volatile on purpose: a
+        # crash (like a live reconnect) resets every link to the
+        # full-clock fallback.
+        self._wire_clock_sent: dict[int, FaultTolerantVectorClock] = {}
         # Debug/analysis map: state uid -> FTVC at state creation.  Not part
         # of the protocol; the Theorem 1 oracle reads it.
         self.clock_by_uid: dict[tuple[int, int, int], FaultTolerantVectorClock] = {
@@ -114,6 +120,10 @@ class DamaniGargProcess(BaseRecoveryProcess):
         }
         # Section 6.5 extension state (driven by a StabilityCoordinator):
         self._stable_own = self.clock[self.pid]   # flushed frontier entry
+        # Decentralised stability (config.gossip_stability): last frontier
+        # entry reported by each peer.  Volatile: after a crash the next
+        # gossip round repopulates it (a stale loss only delays GC).
+        self._frontier_reports: dict[int, ClockEntry] = {}
         # pending outputs: (dedup key, clock at emission, value); volatile.
         self._pending_outputs: list[
             tuple[tuple, FaultTolerantVectorClock, Any]
@@ -141,6 +151,8 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self._receive_token(msg.payload)
         elif msg.kind == "app":
             self._receive_app(msg)
+        elif msg.kind == "frontier":
+            self._receive_frontier(*msg.payload)
         else:
             raise ValueError(f"unexpected message kind {msg.kind!r}")
 
@@ -150,6 +162,8 @@ class DamaniGargProcess(BaseRecoveryProcess):
         self._send_log.clear()
         self._delivered_ids.clear()
         self._pending_outputs.clear()
+        self._wire_clock_sent.clear()
+        self._frontier_reports.clear()
         if self.trace is not None:
             self.trace.record(
                 self.env.now,
@@ -204,7 +218,9 @@ class DamaniGargProcess(BaseRecoveryProcess):
             timestamp=restored_ts,
             full_clock=self.clock if self.config.retransmit_on_token else None,
         )
-        self.storage.log_token(token)
+        self.storage.log_token(
+            token, dedupe_key=(token.origin, token.version)
+        )
         self.env.broadcast(token, kind="token")
         self.stats.tokens_sent += self.n - 1
         self.stats.control_sent += self.n - 1
@@ -404,6 +420,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
             bits = envelope.clock.wire_size_bits()
             self.stats.piggyback_bits += bits
             self.obs.counter("dg.piggyback_bytes", bits / 8.0)
+            self._note_wire_cost(dst, envelope.clock)
             if self.trace is not None:
                 self.trace.record(
                     self.env.now,
@@ -416,13 +433,50 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 )
         self.clock = self.clock.tick(self.pid)
 
+    def _note_wire_cost(self, dst: int, clock: FaultTolerantVectorClock) -> None:
+        """Account the full-clock versus delta wire cost of one send.
+
+        Mirrors what a per-link delta encoder pays: the first clock on a
+        link (or after a crash reset) goes out full; afterwards only the
+        diff against the last clock sent to ``dst``.  Deterministic stats
+        always; exact byte counters (JSON text vs binary varints) only
+        when the obs layer is on, since they cost a serialization.
+        """
+        base = self._wire_clock_sent.get(dst)
+        if base is None:
+            self.stats.piggyback_delta_bits += clock.wire_size_bits()
+        else:
+            self.stats.piggyback_delta_bits += clock.delta_wire_size_bits(base)
+        if self.obs.enabled:
+            full_json = len(
+                json.dumps(
+                    [[v, t] for v, t in clock.pairs()],
+                    separators=(",", ":"),
+                )
+            )
+            if base is None:
+                delta_bytes = clock.wire_size_bytes()
+                self.obs.counter("dg.wire_full_fallbacks")
+            else:
+                delta_bytes = clock.delta_wire_size_bytes(base)
+            self.obs.counter("dg.wire_bytes_full_json", full_json)
+            self.obs.counter("dg.wire_bytes_delta", delta_bytes)
+            self.obs.counter("dg.wire_clocks_sent")
+        self._wire_clock_sent[dst] = clock
+
     # ------------------------------------------------------------------
     # Receive token (Section 6.3)
     # ------------------------------------------------------------------
     def _receive_token(self, token: RecoveryToken) -> None:
         self.stats.tokens_received += 1
-        self.storage.log_token(token)   # synchronous write, before acting
-        self.stats.sync_log_writes += 1
+        # Synchronous write, before acting; a duplicate of an
+        # already-logged (origin, version) is skipped -- the durable copy
+        # is identical, so the fsync and the log growth are both saved.
+        appended = self.storage.log_token(
+            token, dedupe_key=(token.origin, token.version)
+        )
+        if appended:
+            self.stats.sync_log_writes += 1
         self.obs.counter("dg.tokens_received")
         if self.trace is not None:
             self.trace.record(
@@ -643,6 +697,7 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 self.stats.piggyback_bits += bits
                 self.obs.counter("dg.retransmitted")
                 self.obs.counter("dg.piggyback_bytes", bits / 8.0)
+                self._note_wire_cost(entry.dst, entry.envelope.clock)
                 if self.trace is not None:
                     self.trace.record(
                         self.env.now,
@@ -689,6 +744,30 @@ class DamaniGargProcess(BaseRecoveryProcess):
         """The own clock entry of our latest stable-storage-recoverable
         state, reported to the StabilityCoordinator."""
         return self._stable_own
+
+    # ------------------------------------------------------------------
+    # Decentralised stability gossip (live-runtime alternative to the
+    # StabilityCoordinator object, which needs one Python object holding
+    # every protocol -- impossible across OS processes)
+    # ------------------------------------------------------------------
+    def gossip_tick(self) -> None:
+        """Broadcast our stable frontier; sweep if a full vector is held.
+
+        Stale reports are sound (see ProtocolConfig.gossip_stability):
+        a frontier entry only ever certifies states that were stable when
+        it was reported, and a stable prefix is recoverable forever.
+        """
+        self._receive_frontier(self.pid, self.stable_frontier())
+        self.env.broadcast(
+            (self.pid, self.stable_frontier()), kind="frontier"
+        )
+        self.stats.control_sent += self.n - 1
+        self.obs.counter("dg.frontier_gossip", self.n - 1)
+
+    def _receive_frontier(self, src: int, entry) -> None:
+        self._frontier_reports[src] = entry
+        if len(self._frontier_reports) == self.n:
+            self.apply_stability(dict(self._frontier_reports))
 
     def emit_outputs(self, records, *, replay: bool) -> None:
         if not self.config.commit_outputs:
@@ -786,6 +865,15 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 entries_collected = self.storage.log.discard_prefix(
                     anchor.log_position
                 )
+        if self.config.compact_history:
+            # Tokens are logged synchronously on receipt, so every record
+            # the run below drops had its killing token durably observed
+            # before this sweep started.
+            compacted = self.history.compact()
+            if compacted:
+                self.stats.history_compacted += compacted
+                self.obs.counter("dg.history_compacted", compacted)
+                self._sample_obs_gauges()
         return committed_count, ckpts_collected, entries_collected
 
     # ------------------------------------------------------------------

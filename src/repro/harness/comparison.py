@@ -83,6 +83,14 @@ class ComparisonRow:
     piggyback_entries_per_message: float
     concurrent_failures_safe: bool | None
     safety_ok: bool
+    # Measured wire/storage cost on the single-failure battery: clock
+    # bytes per app message under the full-clock encoding, the same
+    # under the per-link delta encoding (None when the protocol does
+    # not delta-encode), and synchronous stable-storage writes per
+    # app message.
+    wire_bytes_per_message: float = 0.0
+    delta_wire_bytes_per_message: float | None = None
+    fsyncs_per_message: float = 0.0
     runs: int = 0
     notes: list[str] = field(default_factory=list)
 
@@ -117,6 +125,9 @@ def measure_protocol(
     max_rollbacks = 0
     total_rollbacks = 0
     piggyback_total = 0
+    wire_bits_total = 0
+    delta_bits_total = 0
+    fsync_total = 0
     sent_total = 0
     failed_blocked = 0.0
     runs = 0
@@ -140,6 +151,9 @@ def measure_protocol(
         )
         total_rollbacks += result.total_rollbacks
         piggyback_total += result.total("piggyback_entries")
+        wire_bits_total += result.total("piggyback_bits")
+        delta_bits_total += result.total("piggyback_delta_bits")
+        fsync_total += sum(p.storage.sync_writes for p in result.protocols)
         sent_total += result.total("app_sent")
         failed_blocked += result.protocols[1].stats.blocked_time
 
@@ -173,6 +187,13 @@ def measure_protocol(
         piggyback_entries_per_message=piggyback_total / max(1, sent_total),
         concurrent_failures_safe=concurrent_safe,
         safety_ok=safety_ok,
+        wire_bytes_per_message=wire_bits_total / 8 / max(1, sent_total),
+        delta_wire_bytes_per_message=(
+            delta_bits_total / 8 / max(1, sent_total)
+            if delta_bits_total
+            else None
+        ),
+        fsyncs_per_message=fsync_total / max(1, sent_total),
         runs=runs,
         notes=notes,
     )

@@ -41,11 +41,18 @@ def render_table1(rows: list[ComparisonRow]) -> str:
         "Async recovery",
         "Max rollbacks/failure",
         "Piggyback entries/msg",
+        "Wire B/msg (full/delta)",
+        "fsyncs/msg",
         "Concurrent failures",
         "Safety",
     ]
     body = []
     for row in rows:
+        delta = (
+            f"{row.delta_wire_bytes_per_message:.1f}"
+            if row.delta_wire_bytes_per_message is not None
+            else "-"
+        )
         concurrent = (
             "n (safe)"
             if row.concurrent_failures_safe
@@ -62,6 +69,8 @@ def render_table1(rows: list[ComparisonRow]) -> str:
                 else f"No (blocked {row.recovery_blocked_time:.2f})",
                 str(row.max_rollbacks_per_failure),
                 f"{row.piggyback_entries_per_message:.1f}",
+                f"{row.wire_bytes_per_message:.1f} / {delta}",
+                f"{row.fsyncs_per_message:.2f}",
                 concurrent,
                 "ok" if row.safety_ok else "VIOLATED",
             ]
@@ -152,6 +161,19 @@ def render_metrics_report(report: "MetricsReport") -> str:
                     (
                         "piggyback bits/msg",
                         f"{o.piggyback_bits_per_message:.0f}",
+                    ),
+                    (
+                        "bytes on wire/msg (full / delta)",
+                        f"{o.wire_bytes_per_message:.1f} / "
+                        + (
+                            f"{o.delta_wire_bytes_per_message:.1f}"
+                            if o.delta_wire_bytes_per_message is not None
+                            else "-"
+                        ),
+                    ),
+                    (
+                        "fsyncs (sync writes / per msg)",
+                        f"{o.sync_writes} / {o.fsyncs_per_message:.2f}",
                     ),
                     (
                         "history records (max)",

@@ -30,6 +30,70 @@ class CodecError(ValueError):
     """Raised for unencodable values and untrusted or malformed frames."""
 
 
+def canonical_key(value: Any):
+    """A total-order sort key over every codec-encodable value.
+
+    Used to order set elements deterministically on the wire.  Each value
+    maps to a ``(type rank, ...)`` tuple built once per element -- unlike
+    re-serialising elements to JSON inside the sort comparator, this is
+    O(size) per element, and it also covers the binary codec's types
+    without a JSON detour.  Booleans rank separately from numbers
+    (``True == 1`` would otherwise collide), ints and floats share a rank
+    so mixed numeric sets still compare numerically.
+    """
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, FaultTolerantVectorClock):
+        return (4, value.pairs())
+    if isinstance(value, (list, tuple)):
+        return (5, tuple(canonical_key(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return (6, tuple(sorted(canonical_key(item) for item in value)))
+    if isinstance(value, dict):
+        return (
+            7,
+            tuple(
+                sorted(
+                    (canonical_key(k), canonical_key(v))
+                    for k, v in value.items()
+                )
+            ),
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return (
+            8,
+            f"{cls.__module__}:{cls.__qualname__}",
+            tuple(
+                canonical_key(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    raise CodecError(f"cannot order {type(value).__name__}: {value!r}")
+
+
+def resolve_dataclass(path: str) -> type:
+    """Resolve a ``module:QualName`` wire path to a trusted dataclass.
+
+    Shared by the JSON and binary codecs: both only instantiate
+    dataclasses defined directly in modules under ``repro.``.
+    """
+    module_name, _, qualname = path.partition(":")
+    if not module_name.startswith(TRUSTED_PREFIX) or "." in qualname:
+        raise CodecError(f"untrusted dataclass on the wire: {path!r}")
+    module = importlib.import_module(module_name)
+    cls = getattr(module, qualname, None)
+    if cls is None or not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{path!r} is not a known dataclass")
+    return cls
+
+
 def encode(value: Any) -> Any:
     """Lower ``value`` to a JSON-representable structure."""
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -42,11 +106,10 @@ def encode(value: Any) -> Any:
         return {"__tuple__": [encode(item) for item in value]}
     if isinstance(value, (set, frozenset)):
         tag = "__frozenset__" if isinstance(value, frozenset) else "__set__"
-        # Sort by the JSON rendering for a deterministic wire image.
-        items = sorted(
-            (encode(item) for item in value),
-            key=lambda e: json.dumps(e, sort_keys=True),
-        )
+        # Sort before encoding for a deterministic wire image.
+        items = [
+            encode(item) for item in sorted(value, key=canonical_key)
+        ]
         return {tag: items}
     if isinstance(value, dict):
         return {
@@ -95,14 +158,7 @@ def decode(obj: Any) -> Any:
 
 
 def _decode_dataclass(obj: dict) -> Any:
-    path = obj["__dc__"]
-    module_name, _, qualname = path.partition(":")
-    if not module_name.startswith(TRUSTED_PREFIX) or "." in qualname:
-        raise CodecError(f"untrusted dataclass on the wire: {path!r}")
-    module = importlib.import_module(module_name)
-    cls = getattr(module, qualname, None)
-    if cls is None or not dataclasses.is_dataclass(cls):
-        raise CodecError(f"{path!r} is not a known dataclass")
+    cls = resolve_dataclass(obj["__dc__"])
     fields = {k: decode(v) for k, v in obj["fields"].items()}
     return cls(**fields)
 

@@ -1,8 +1,9 @@
 """Length-prefixed framing for the live TCP links.
 
 Each frame is a 4-byte big-endian length followed by that many bytes of
-payload (UTF-8 JSON, see :mod:`repro.live.codec`).  The cap rejects
-corrupt prefixes before they turn into a multi-gigabyte read.
+payload -- binary wire frames (:mod:`repro.live.wire`, first byte 0xB5)
+or legacy UTF-8 JSON (:mod:`repro.live.codec`, first byte ``{``).  The
+cap rejects corrupt prefixes before they turn into a multi-gigabyte read.
 """
 
 from __future__ import annotations

@@ -81,7 +81,9 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
     # port is the readiness signal the supervisor waits for, so any
     # SIGKILL it injects later finds the boot count already on disk.
     storage = FileStableStorage(
-        pid, os.path.join(cfg["data_dir"], f"stable_p{pid}.pickle")
+        pid,
+        os.path.join(cfg["data_dir"], f"stable_p{pid}.pickle"),
+        flush_window=float(cfg.get("storage_flush_window", 0.0)),
     )
     boot = storage.get(_BOOTS_KEY, 0) + 1
     storage.put(_BOOTS_KEY, boot)
@@ -93,6 +95,7 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         host=cfg.get("host", "127.0.0.1"),
         boot=boot,
         storage=storage,
+        wire_format=cfg.get("wire_format", "binary"),
     )
     await transport.start()
 
@@ -151,10 +154,21 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
             "retransmitted": transport.retransmit_count,
             "unacked": transport.unacked,
             "deliver_errors": transport.deliver_errors,
+            "bytes_sent": transport.bytes_sent,
+            "bytes_received": transport.bytes_received,
+            "data_frames_sent": transport.data_frames_sent,
+            "wire_format": transport.wire_format,
         },
         "storage_persists": storage.persist_count,
+        "storage_window_flushes": storage.window_flushes,
+        "storage_lazy_writes": storage.lazy_writes,
+        "storage_sync_writes": storage.sync_writes,
+        "token_log_dedups": storage.token_log_dedups,
         "trace_records": trace.records_written,
     }
+    # Harden any lazy writes still inside the group-commit window before
+    # reporting success (the done file implies a clean shutdown).
+    storage.sync()
     await transport.stop()
     trace.close()
     return done

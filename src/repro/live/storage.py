@@ -1,10 +1,30 @@
-"""File-backed stable storage for live processes.
+"""File-backed stable storage for live processes, with group commit.
 
 :class:`FileStableStorage` keeps the exact semantics of the in-memory
 :class:`~repro.storage.stable.StableStorage` -- including the *volatile*
 message-log buffer, which is deliberately **not** persisted (a SIGKILL
 must lose it, exactly like the paper's failure model) -- and writes the
-durable remainder to one pickle file after every stable-storage mutation.
+durable remainder to one pickle file.
+
+Writes come in two durability classes:
+
+- **Synchronous barriers** -- token logging, ``put``, and every
+  checkpoint/message-log mutation -- persist (fsync) immediately, exactly
+  as before.  A barrier writes the *whole* durable image, so it also
+  hardens any lazy writes still pending.
+- **Lazy writes** (:meth:`put_lazy`, used for the transport outbox) are
+  batched: the file is rewritten at most once per ``flush_window``
+  seconds.  This is the group commit that removes the two
+  fsyncs-per-message the outbox used to cost.  A SIGKILL inside the
+  window loses the tail of lazy writes -- which is sound, because a
+  message whose *sending state* is durable was hardened by the same
+  barrier (log flush / checkpoint) that made the state durable, and a
+  message whose sending state is volatile is condemned by the sender's
+  restart token: receivers discard it as obsolete, so the loss equals
+  never having sent it.
+
+``flush_window=0`` (the default for direct construction) keeps the old
+every-mutation-fsyncs behaviour; the live node enables the window.
 
 Writes go through a temp file and :func:`os.replace`, so a crash in the
 middle of a write leaves the previous durable image intact; there is no
@@ -13,6 +33,7 @@ window in which the file is missing or half-written.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import pickle
 from typing import Any, Callable
@@ -21,7 +42,9 @@ from repro.storage.checkpoint import CheckpointStore
 from repro.storage.log import MessageLog
 from repro.storage.stable import StableStorage
 
-_FORMAT_VERSION = 1
+# Version 2: the transport outbox holds NetworkMessage objects (encoded
+# per connection at pump time), not pre-encoded JSON bytes.
+_FORMAT_VERSION = 2
 
 
 class _NotifyingCheckpointStore(CheckpointStore):
@@ -81,10 +104,16 @@ class _NotifyingMessageLog(MessageLog):
 class FileStableStorage(StableStorage):
     """Stable storage persisted to ``path``; reloads itself on restart."""
 
-    def __init__(self, pid: int, path: str) -> None:
+    def __init__(
+        self, pid: int, path: str, *, flush_window: float = 0.0
+    ) -> None:
         super().__init__(pid)
         self.path = path
-        self.persist_count = 0
+        self.flush_window = flush_window
+        self.persist_count = 0          # fsync'd file writes
+        self.window_flushes = 0         # persists triggered by the timer
+        self._dirty = False
+        self._flush_handle: asyncio.TimerHandle | None = None
         self._loading = True
         self.checkpoints = _NotifyingCheckpointStore(self._persist)
         self.log = _NotifyingMessageLog(self._persist)
@@ -95,13 +124,52 @@ class FileStableStorage(StableStorage):
     # ------------------------------------------------------------------
     # Mutators that StableStorage itself defines
     # ------------------------------------------------------------------
-    def log_token(self, token: Any) -> None:
-        super().log_token(token)
-        self._persist()
+    def log_token(self, token: Any, *, dedupe_key: Any = None) -> bool:
+        appended = super().log_token(token, dedupe_key=dedupe_key)
+        if appended:
+            self._persist()
+        return appended
 
     def put(self, key: str, value: Any) -> None:
         super().put(key, value)
         self._persist()
+
+    def put_lazy(self, key: str, value: Any) -> None:
+        super().put_lazy(key, value)
+        if self._loading:
+            return
+        if self.flush_window <= 0:
+            self._persist()
+            return
+        self._dirty = True
+        if self._flush_handle is not None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            # No event loop (synchronous tests): nothing would ever fire
+            # the window, so behave synchronously.
+            self._persist()
+            return
+        self._flush_handle = loop.call_later(
+            self.flush_window, self._window_fire
+        )
+
+    def _window_fire(self) -> None:
+        self._flush_handle = None
+        if self._dirty:
+            self.window_flushes += 1
+            self._persist()
+
+    def sync(self) -> None:
+        """Force any pending lazy writes to disk now."""
+        if self._dirty:
+            self._persist()
+
+    @property
+    def pending_lazy(self) -> bool:
+        """Are there lazy writes not yet on disk?  (Tests/shutdown.)"""
+        return self._dirty
 
     # ------------------------------------------------------------------
     # Persistence
@@ -119,6 +187,7 @@ class FileStableStorage(StableStorage):
             "log_flush_count": self.log.flush_count,
             "log_gc_count": self.log.gc_count,
             "tokens": self._tokens,
+            "token_keys": self._token_keys,
             "kv": self._kv,
             "sync_writes": self.sync_writes,
         }
@@ -126,6 +195,11 @@ class FileStableStorage(StableStorage):
     def _persist(self) -> None:
         if self._loading:
             return
+        # A barrier hardens everything, pending lazy writes included.
+        self._dirty = False
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
         tmp = f"{self.path}.tmp"
         with open(tmp, "wb") as fh:
             pickle.dump(self._durable_state(), fh, protocol=4)
@@ -156,5 +230,6 @@ class FileStableStorage(StableStorage):
         self.log.flush_count = state["log_flush_count"]
         self.log.gc_count = state["log_gc_count"]
         self._tokens = state["tokens"]
+        self._token_keys = state["token_keys"]
         self._kv = state["kv"]
         self.sync_writes = state["sync_writes"]

@@ -58,6 +58,20 @@ class LiveClusterSpec:
     flush_interval: float = 0.15
     crashes: list[LiveCrashPlan] = field(default_factory=list)
     host: str = "127.0.0.1"
+    # Wire format for the mesh links: "binary" (delta clocks, varint
+    # framing) or "json" (the legacy text codec, kept for comparison
+    # runs and old-trace tooling).
+    wire_format: str = "binary"
+    # Group-commit window for lazy storage writes (outbox bookkeeping);
+    # 0 restores one fsync per mutation.
+    storage_flush_window: float = 0.05
+    # Decentralised stability: gossip frontiers and run GC/compaction
+    # locally.  Off by default so existing runs keep their storage
+    # profile byte-for-byte.
+    gossip_stability: bool = False
+    gossip_interval: float = 0.5
+    enable_gc: bool = False
+    compact_history: bool = False
 
     def protocol_config(self) -> dict[str, Any]:
         return {
@@ -66,6 +80,10 @@ class LiveClusterSpec:
             # Remark 1 is what makes real message loss at a sender crash
             # recoverable; the live runtime always enables it.
             "retransmit_on_token": True,
+            "gossip_stability": self.gossip_stability,
+            "gossip_interval": self.gossip_interval,
+            "enable_gc": self.enable_gc,
+            "compact_history": self.compact_history,
         }
 
 
@@ -177,6 +195,8 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
             "protocol": spec.protocol,
             "app": {"kind": "pipeline", "jobs": spec.jobs},
             "config": spec.protocol_config(),
+            "wire_format": spec.wire_format,
+            "storage_flush_window": spec.storage_flush_window,
             "data_dir": data_dir,
             "trace_path": os.path.join(workdir, f"trace_p{pid}.jsonl"),
             "done_path": os.path.join(workdir, f"done_p{pid}.json"),

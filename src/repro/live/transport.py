@@ -21,6 +21,14 @@ downtime (still in flight).  The live transport reproduces that with:
   simulated process gets -- and protocol-level dedup ids absorb the
   overlap, just as they absorb duplicates under the simulator's
   ``duplicate_rate``.
+
+Wire format: the outbox stores :class:`NetworkMessage` objects, and each
+connection encodes them at pump time with its own
+:class:`~repro.live.wire.WireEncoder` -- that is what lets consecutive
+messages on a link share an FTVC delta chain, with a reconnect naturally
+restarting the chain at a full clock.  ``wire_format="json"`` keeps the
+legacy tagged-JSON frames (for A/B benchmarking); the receive side always
+accepts both, dispatching on the frame's first byte.
 """
 
 from __future__ import annotations
@@ -33,12 +41,17 @@ import sys
 import time
 from typing import Any
 
-from repro.live import codec
-from repro.live.framing import FramingError, read_frame, write_frame
+from repro.live import codec, wire
+from repro.live.framing import FramingError, frame, read_frame, write_frame
 from repro.runtime.message import NetworkMessage
 
+#: One storage key holds the outbox AND the per-link sequence counters.
+#: They must hit disk in the same write: persisted separately, a crash
+#: between the two writes leaves an outbox entry on disk with a stale
+#: counter, and the next incarnation re-assigns a live seq -- the
+#: receiver's dedup cursor then silently swallows the second message,
+#: losing it forever (a token lost this way strands every orphan).
 _OUTBOX_KEY = "transport_outbox"
-_SEQ_KEY = "transport_next_seq"
 
 _BACKOFF_FLOOR = 0.05
 _BACKOFF_CEIL = 1.0
@@ -67,16 +80,20 @@ class MeshTransport:
         host: str = "127.0.0.1",
         boot: int = 0,
         storage: Any | None = None,
+        wire_format: str = "binary",
     ) -> None:
+        if wire_format not in ("binary", "json"):
+            raise ValueError(f"unknown wire format {wire_format!r}")
         self.pid = pid
         self.n = n
         self.ports = ports
         self.host = host
         self.boot = boot
         self.storage = storage
+        self.wire_format = wire_format
         self._protocol: Any | None = None
         self._undelivered: list[NetworkMessage] = []
-        self._outbox: dict[int, list[tuple[int, bytes]]] = {
+        self._outbox: dict[int, list[tuple[int, NetworkMessage]]] = {
             dst: [] for dst in range(n) if dst != pid
         }
         self._next_seq: dict[int, int] = {
@@ -93,19 +110,30 @@ class MeshTransport:
         self.delivered_count = 0
         self.retransmit_count = 0
         self.deliver_errors = 0
+        self.bytes_sent = 0           # framed bytes written (data + acks)
+        self.bytes_received = 0       # framed bytes read (data + acks)
+        self.data_frames_sent = 0
         if storage is not None:
+            saved = storage.get(_OUTBOX_KEY, {})
             self._outbox.update(
                 {
-                    int(dst): [(seq, payload) for seq, payload in entries]
-                    for dst, entries in storage.get(_OUTBOX_KEY, {}).items()
+                    int(dst): [(seq, msg) for seq, msg in entries]
+                    for dst, entries in saved.get("entries", {}).items()
                 }
             )
             self._next_seq.update(
                 {
                     int(dst): seq
-                    for dst, seq in storage.get(_SEQ_KEY, {}).items()
+                    for dst, seq in saved.get("next_seq", {}).items()
                 }
             )
+            # Defensive heal: whatever the disk says, never hand out a
+            # seq at or below one already occupied in the outbox.
+            for dst, entries in self._outbox.items():
+                if entries:
+                    floor = max(seq for seq, _ in entries) + 1
+                    if self._next_seq[dst] < floor:
+                        self._next_seq[dst] = floor
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -177,24 +205,43 @@ class MeshTransport:
             return
         seq = self._next_seq[dst]
         self._next_seq[dst] = seq + 1
-        payload = json.dumps(
-            {"seq": seq, "msg": codec.encode(msg)},
-            separators=(",", ":"),
-        ).encode("utf-8")
-        self._outbox[dst].append((seq, payload))
+        self._outbox[dst].append((seq, msg))
         self._persist_outbox()
         self.sent_count += 1
         if dst in self._wake:
             self._wake[dst].set()
 
     def _persist_outbox(self) -> None:
+        # Lazy (group-commit) writes: the outbox rides to disk with the
+        # next storage barrier or flush window.  Sound because a message
+        # whose sending state was never made durable is condemned by the
+        # sender's restart token anyway -- receivers discard it as
+        # obsolete, so losing its outbox entry equals never sending it --
+        # while any barrier that makes the sending state durable (log
+        # flush, checkpoint, token) persists the whole image, outbox
+        # included.
         if self.storage is None:
             return
-        self.storage.put(
+        self.storage.put_lazy(
             _OUTBOX_KEY,
-            {dst: list(entries) for dst, entries in self._outbox.items()},
+            {
+                "entries": {
+                    dst: list(entries)
+                    for dst, entries in self._outbox.items()
+                },
+                "next_seq": dict(self._next_seq),
+            },
         )
-        self.storage.put(_SEQ_KEY, dict(self._next_seq))
+
+    def _encode_data(
+        self, encoder: wire.WireEncoder | None, seq: int, msg: NetworkMessage
+    ) -> bytes:
+        if encoder is not None:
+            return encoder.data_frame(seq, msg)
+        return json.dumps(
+            {"seq": seq, "msg": codec.encode(msg)},
+            separators=(",", ":"),
+        ).encode("utf-8")
 
     # ------------------------------------------------------------------
     # Outbound side: dial, retransmit, consume acks
@@ -214,10 +261,14 @@ class MeshTransport:
             _dbg(f"p{self.pid}(boot {self.boot}) connected -> p{dst}")
             ack_task = asyncio.create_task(self._ack_loop(dst, reader))
             try:
-                hello = json.dumps(
-                    {"hello": {"pid": self.pid, "boot": self.boot}}
-                ).encode("utf-8")
+                if self.wire_format == "binary":
+                    hello = wire.hello_frame(self.pid, self.boot)
+                else:
+                    hello = json.dumps(
+                        {"hello": {"pid": self.pid, "boot": self.boot}}
+                    ).encode("utf-8")
                 await write_frame(writer, hello)
+                self.bytes_sent += len(hello) + 4
                 await self._pump(dst, writer, ack_task)
             except (ConnectionError, OSError, FramingError):
                 pass
@@ -240,15 +291,23 @@ class MeshTransport:
     async def _pump(
         self, dst: int, writer: asyncio.StreamWriter, ack_task: asyncio.Task
     ) -> None:
-        """Write outbox entries in order until the connection dies."""
+        """Write outbox entries in order until the connection dies.
+
+        The encoder lives exactly as long as the connection: its delta
+        chain and interning table match what the peer's decoder has seen,
+        and a reconnect starts over with a full clock.  Ready entries are
+        written as one batch with a single drain, so a burst of sends
+        costs one syscall round, not one per message.
+        """
+        encoder = (
+            wire.WireEncoder() if self.wire_format == "binary" else None
+        )
         sent_marker = 0   # highest seq written on *this* connection
         while self._running:
             if ack_task.done():
                 return   # read side saw the connection drop
-            entry = next(
-                (e for e in self._outbox[dst] if e[0] > sent_marker), None
-            )
-            if entry is None:
+            batch = [e for e in self._outbox[dst] if e[0] > sent_marker]
+            if not batch:
                 self._wake[dst].clear()
                 if any(e[0] > sent_marker for e in self._outbox[dst]):
                     continue   # raced with send()
@@ -257,22 +316,32 @@ class MeshTransport:
                         self._wake[dst].wait(), timeout=_IDLE_POLL
                     )
                 continue
-            seq, payload = entry
-            await write_frame(writer, payload)
-            if seq <= self._max_written.get(dst, 0):
-                self.retransmit_count += 1
-            else:
-                self._max_written[dst] = seq
-            sent_marker = seq
+            for seq, msg in batch:
+                payload = self._encode_data(encoder, seq, msg)
+                writer.write(frame(payload))
+                self.bytes_sent += len(payload) + 4
+                self.data_frames_sent += 1
+                if seq <= self._max_written.get(dst, 0):
+                    self.retransmit_count += 1
+                else:
+                    self._max_written[dst] = seq
+                sent_marker = seq
+            await writer.drain()
 
     async def _ack_loop(self, dst: int, reader: asyncio.StreamReader) -> None:
         while self._running:
             data = await read_frame(reader)
             if data is None:
                 return
-            acked = json.loads(data.decode("utf-8")).get("ack")
-            if acked is None:
-                continue
+            self.bytes_received += len(data) + 4
+            if wire.is_binary(data):
+                if wire.frame_type(data) != wire.FRAME_ACK:
+                    continue
+                acked = wire.parse_ack(data)
+            else:
+                acked = json.loads(data.decode("utf-8")).get("ack")
+                if acked is None:
+                    continue
             before = len(self._outbox[dst])
             self._outbox[dst] = [
                 e for e in self._outbox[dst] if e[0] > acked
@@ -293,36 +362,56 @@ class MeshTransport:
             data = await read_frame(reader)
             if data is None:
                 return
-            hello = json.loads(data.decode("utf-8")).get("hello")
-            if hello is None:
-                return
-            key = (int(hello["pid"]), int(hello["boot"]))
+            self.bytes_received += len(data) + 4
+            if wire.is_binary(data):
+                if wire.frame_type(data) != wire.FRAME_HELLO:
+                    return
+                key = wire.parse_hello(data)
+            else:
+                hello = json.loads(data.decode("utf-8")).get("hello")
+                if hello is None:
+                    return
+                key = (int(hello["pid"]), int(hello["boot"]))
             _dbg(f"p{self.pid} accepted connection from {key}")
+            decoder = wire.WireDecoder()
             while self._running:
                 data = await read_frame(reader)
                 if data is None:
                     return
-                obj = json.loads(data.decode("utf-8"))
-                seq = obj["seq"]
-                if seq <= self._seen.get(key, 0):
-                    _dbg(f"p{self.pid} dedup drop {key} seq={seq} "
-                         f"(seen={self._seen.get(key)})")
-                if seq > self._seen.get(key, 0):
-                    # Decode BEFORE advancing the dedup cursor: if decode
-                    # raises, the connection drops with the cursor
-                    # untouched and the sender's retransmit gets another
-                    # chance instead of being dropped as a duplicate.
-                    msg = codec.decode(obj["msg"])
-                    if not isinstance(msg, NetworkMessage):
+                self.bytes_received += len(data) + 4
+                binary = wire.is_binary(data)
+                # Decode every frame -- duplicates included -- BEFORE
+                # touching the dedup cursor.  The decoder's delta chain
+                # must advance in lockstep with the sender's encoder, and
+                # a decode error must drop the connection with the cursor
+                # untouched so the retransmit gets another chance.
+                if binary:
+                    if wire.frame_type(data) != wire.FRAME_DATA:
                         raise FramingError(
-                            f"frame is not a NetworkMessage: {msg!r}"
+                            f"unexpected binary frame type on data link"
                         )
+                    seq, msg = decoder.decode_data(data)
+                else:
+                    obj = json.loads(data.decode("utf-8"))
+                    seq = obj["seq"]
+                    msg = codec.decode(obj["msg"])
+                if not isinstance(msg, NetworkMessage):
+                    raise FramingError(
+                        f"frame is not a NetworkMessage: {msg!r}"
+                    )
+                if seq > self._seen.get(key, 0):
                     self._seen[key] = seq
                     self._deliver(msg)
-                await write_frame(
-                    writer,
-                    json.dumps({"ack": seq}).encode("utf-8"),
+                else:
+                    _dbg(f"p{self.pid} dedup drop {key} seq={seq} "
+                         f"(seen={self._seen.get(key)})")
+                ack = (
+                    wire.ack_frame(seq)
+                    if binary
+                    else json.dumps({"ack": seq}).encode("utf-8")
                 )
+                await write_frame(writer, ack)
+                self.bytes_sent += len(ack) + 4
         except (ConnectionError, OSError, FramingError):
             pass
         except asyncio.CancelledError:

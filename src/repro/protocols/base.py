@@ -67,6 +67,22 @@ class ProtocolConfig:
     # Remark 2 extension: reclaim checkpoints and log prefixes below the
     # permanently-safe line.  Also coordinator-driven.
     enable_gc: bool = False
+    # Decentralised alternative to the StabilityCoordinator: periodically
+    # broadcast the stable frontier and run apply_stability locally once a
+    # report from every peer is in hand.  This is how the live runtime
+    # (which has no cross-process coordinator object) drives GC/commit.
+    # Stale reports are sound: a frontier entry only ever covers states
+    # that were stable when reported, and any dependence on a
+    # later-truncated state also depends on some failure's never-stable
+    # lost states, which no report covers.
+    gossip_stability: bool = False
+    gossip_interval: float = 1.0
+    # History compaction (Section 6.9): during stability sweeps, drop
+    # token records for versions wholly below the contiguous token
+    # prefix -- every such version's restoration point is superseded by
+    # a token for a newer version.  Messages still mentioning a
+    # compacted version are treated as obsolete (Lemma 4 boundary).
+    compact_history: bool = False
 
 
 @dataclass
@@ -83,11 +99,15 @@ class ProtocolStats:
     tokens_received: int = 0
     piggyback_entries: int = 0       # scalar timestamps attached to app sends
     piggyback_bits: int = 0          # estimated encoded piggyback size
+    # Estimated piggyback size under per-link delta encoding (full-clock
+    # fallback on the first send of a link); compare with piggyback_bits.
+    piggyback_delta_bits: int = 0
     restarts: int = 0
     rollbacks: int = 0
     replayed: int = 0
     retransmitted: int = 0
     sync_log_writes: int = 0
+    history_compacted: int = 0       # history records dropped by compaction
     blocked_time: float = 0.0        # virtual time spent blocked (pessimistic)
     # rollbacks attributed to each failure (origin pid, version) -- the
     # "at most one rollback per failure" measurement of Table 1.
@@ -151,6 +171,8 @@ class BaseRecoveryProcess(abc.ABC):
         self._flush_handle: TimerHandle | None = None
         self._paused_ckpt: TimerHandle | None = None
         self._paused_flush: TimerHandle | None = None
+        self._gossip_handle: TimerHandle | None = None
+        self._paused_gossip: TimerHandle | None = None
         self._deliveries_since_checkpoint = 0
         env.attach(self)
 
@@ -202,6 +224,8 @@ class BaseRecoveryProcess(abc.ABC):
         self._periodic_enabled = True
         self._schedule_checkpoint()
         self._schedule_flush()
+        if self.config.gossip_stability:
+            self._schedule_gossip()
 
     def halt_periodic_tasks(self) -> None:
         """Stop the periodic activities for good (end of experiment).
@@ -229,6 +253,13 @@ class BaseRecoveryProcess(abc.ABC):
                 label=f"flush:{self.pid}",
             )
             self._flush_handle = None
+        if self._gossip_handle is not None:
+            self._paused_gossip = self.env.suspend_timer(
+                self._gossip_handle,
+                self.config.gossip_interval,
+                label=f"gossip:{self.pid}",
+            )
+            self._gossip_handle = None
 
     def resume_periodic_tasks(self) -> None:
         """Resume chains paused by :meth:`pause_periodic_tasks`, preserving
@@ -237,12 +268,15 @@ class BaseRecoveryProcess(abc.ABC):
         which would have done no work)."""
         paused_ckpt, self._paused_ckpt = self._paused_ckpt, None
         paused_flush, self._paused_flush = self._paused_flush, None
+        paused_gossip, self._paused_gossip = self._paused_gossip, None
         if not self._periodic_enabled:
             # Halted while down: abandon the suspended chains.
             if paused_ckpt is not None:
                 paused_ckpt.cancel()
             if paused_flush is not None:
                 paused_flush.cancel()
+            if paused_gossip is not None:
+                paused_gossip.cancel()
             return
         if paused_ckpt is not None:
             self._ckpt_handle = self.env.resume_timer(
@@ -257,6 +291,13 @@ class BaseRecoveryProcess(abc.ABC):
                 self.config.flush_interval,
                 self._periodic_flush,
                 label=f"flush:{self.pid}",
+            )
+        if paused_gossip is not None:
+            self._gossip_handle = self.env.resume_timer(
+                paused_gossip,
+                self.config.gossip_interval,
+                self._periodic_gossip,
+                label=f"gossip:{self.pid}",
             )
 
     def _schedule_checkpoint(self) -> None:
@@ -286,6 +327,25 @@ class BaseRecoveryProcess(abc.ABC):
             return
         self.flush_log()
         self._schedule_flush()
+
+    def _schedule_gossip(self) -> None:
+        self._gossip_handle = self.env.schedule_after(
+            self.config.gossip_interval,
+            self._periodic_gossip,
+            label=f"gossip:{self.pid}",
+        )
+
+    def _periodic_gossip(self) -> None:
+        self._gossip_handle = None
+        if not self._periodic_enabled or not self.env.alive:
+            return
+        self.gossip_tick()
+        self._schedule_gossip()
+
+    def gossip_tick(self) -> None:
+        """One stability-gossip round.  Protocols that support the
+        Section 6.5 extensions override this (see DamaniGargProcess);
+        the default is a no-op so the timer chain stays harmless."""
 
     # ------------------------------------------------------------------
     # Storage helpers (subclasses may extend)

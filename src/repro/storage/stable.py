@@ -24,16 +24,33 @@ class StableStorage:
         self.checkpoints = CheckpointStore()
         self.log = MessageLog()
         self._tokens: list[Any] = []
+        self._token_keys: set[Any] = set()
         self._kv: dict[str, Any] = {}
         self.sync_writes = 0
+        self.lazy_writes = 0
+        self.token_log_dedups = 0
 
     # ------------------------------------------------------------------
     # Token log (synchronous)
     # ------------------------------------------------------------------
-    def log_token(self, token: Any) -> None:
-        """Synchronously persist a received token (paper Section 6.3)."""
+    def log_token(self, token: Any, *, dedupe_key: Any = None) -> bool:
+        """Synchronously persist a received token (paper Section 6.3).
+
+        With ``dedupe_key`` (e.g. ``(origin, version)``), a token whose
+        key is already logged is skipped: tokens are final per version,
+        so the retained copy is byte-identical and the skip saves both
+        the synchronous write and unbounded token-log growth under
+        retransmitted/duplicated tokens -- the log stays O(n·f).
+        Returns whether an entry was actually appended.
+        """
+        if dedupe_key is not None:
+            if dedupe_key in self._token_keys:
+                self.token_log_dedups += 1
+                return False
+            self._token_keys.add(dedupe_key)
         self._tokens.append(token)
         self.sync_writes += 1
+        return True
 
     @property
     def tokens(self) -> list[Any]:
@@ -45,6 +62,15 @@ class StableStorage:
     def put(self, key: str, value: Any) -> None:
         self._kv[key] = value
         self.sync_writes += 1
+
+    def put_lazy(self, key: str, value: Any) -> None:
+        """Buffered durable write: the value becomes durable at the next
+        synchronous barrier (any :meth:`put`, token log, checkpoint or
+        log mutation) or flush window, whichever comes first.  In-memory
+        storage has no window, so this is :meth:`put` minus the
+        synchronous-write accounting."""
+        self._kv[key] = value
+        self.lazy_writes += 1
 
     def get(self, key: str, default: Any = None) -> Any:
         return self._kv.get(key, default)

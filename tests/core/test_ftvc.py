@@ -163,3 +163,52 @@ def test_empty_clock_rejected():
 
 def test_repr_is_compact():
     assert repr(FTVC.of([(0, 1), (1, 2)])) == "FTVC[(0,1) (1,2)]"
+
+
+class TestDeltaEncoding:
+    """diff/from_delta: the wire fast path's per-link clock compression."""
+
+    def test_diff_roundtrip_single_tick(self):
+        base = FTVC.of([(0, 1), (0, 2), (0, 3)])
+        new = base.tick(1)
+        changes = new.diff(base)
+        assert changes == ((1, 0, 3),)
+        assert FTVC.from_delta(base, changes) == new
+
+    def test_diff_of_identical_clock_is_empty(self):
+        clock = FTVC.of([(0, 1), (0, 2)])
+        assert clock.diff(clock) == ()
+        assert FTVC.from_delta(clock, ()) == clock
+
+    def test_diff_covers_restart(self):
+        base = FTVC.of([(0, 7), (0, 3)])
+        new = base.restart(0)
+        changes = new.diff(base)
+        assert changes == ((0, 1, 0),)
+        assert FTVC.from_delta(base, changes) == new
+
+    def test_diff_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FTVC.initial(0, 2).diff(FTVC.initial(0, 3))
+
+    def test_delta_is_idempotent(self):
+        # Absolute (index, version, timestamp) triples: re-applying a
+        # delta to its own result is a no-op, which is what lets the
+        # decoder process duplicate frames without desynchronising.
+        base = FTVC.of([(0, 1), (0, 2)])
+        new = base.tick(0)
+        changes = new.diff(base)
+        assert FTVC.from_delta(new, changes) == new
+
+    def test_delta_bits_beat_full_bits_for_small_diffs(self):
+        base = FTVC.initial(0, 8)
+        new = base.tick(0)
+        assert new.delta_wire_size_bits(base) < new.wire_size_bits()
+
+    def test_exact_byte_costs_under_binary_codec(self):
+        base = FTVC.of([(0, 1), (0, 2)])
+        # Full: tag + count + 2 * (version varint + timestamp varint).
+        assert base.wire_size_bytes() == 6
+        # Delta with one change: tag + count + (idx, version, ts) varints.
+        new = base.tick(1)
+        assert new.delta_wire_size_bytes(base) == 5

@@ -48,3 +48,37 @@ def test_cluster_survives_a_sigkill(tmp_path):
                                            f"trace_p{pid}.jsonl"))
         assert os.path.exists(os.path.join(str(tmp_path), "data",
                                            f"stable_p{pid}.pickle"))
+
+
+def test_cluster_compacts_history_under_gossiped_stability(tmp_path):
+    """Live-engine GC boundary test: two SIGKILLs of the same node make
+    token v1 supersede token v0, gossiped frontiers drive local
+    apply_stability sweeps (no coordinator), and compaction runs while
+    crashes land around it.  The run must stay oracle-clean and the done
+    reports must show superseded records actually dropped."""
+    spec = LiveClusterSpec(
+        n=3,
+        jobs=9,
+        run_seconds=5.0,
+        linger=1.2,
+        crashes=[
+            LiveCrashPlan(pid=1, at=0.6, downtime=0.6),
+            LiveCrashPlan(pid=1, at=2.4, downtime=0.6),
+        ],
+        gossip_stability=True,
+        gossip_interval=0.4,
+        compact_history=True,
+        enable_gc=True,
+    )
+    result = run_cluster(spec, str(tmp_path))
+
+    assert len(result.kills) == 2
+    verdict = check_live_run(result.trace, n=spec.n, jobs=spec.jobs)
+    assert verdict.ok, verdict.summary()
+    assert verdict.crashes == 2
+
+    compacted = sum(
+        d["stats"]["history_compacted"] for d in result.done.values()
+    )
+    assert compacted > 0, "no history record was ever compacted"
+    assert set(result.exit_codes.values()) == {0}, result.exit_codes

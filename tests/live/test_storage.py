@@ -94,3 +94,88 @@ def test_persist_count_tracks_durable_mutations_only(path):
     assert storage.persist_count == base + 1
     storage.put("k", 1)
     assert storage.persist_count == base + 2
+
+
+# ---------------------------------------------------------------------------
+# Group commit (flush_window > 0)
+# ---------------------------------------------------------------------------
+def test_window_coalesces_lazy_writes_into_one_fsync(path):
+    import asyncio
+
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=0.05)
+        storage.put("seed", 1)                  # baseline image on disk
+        base = storage.persist_count
+        for i in range(5):
+            storage.put_lazy("lazy", i)
+        assert storage.persist_count == base    # still inside the window
+        await asyncio.sleep(0.15)
+        assert storage.persist_count == base + 1
+        assert storage.window_flushes == 1
+        return storage
+
+    asyncio.run(go())
+    reborn = FileStableStorage(0, path)
+    assert reborn.get("lazy") == 4
+
+
+def test_sync_hardens_the_window_immediately(path):
+    import asyncio
+
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=10.0)
+        storage.put_lazy("k", "value")
+        storage.sync()                          # clean-shutdown barrier
+        base = storage.persist_count
+        storage.sync()                          # nothing dirty: no fsync
+        assert storage.persist_count == base
+
+    asyncio.run(go())
+    assert FileStableStorage(0, path).get("k") == "value"
+
+
+def test_durable_barrier_hardens_pending_lazy_writes(path):
+    import asyncio
+
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=10.0)
+        storage.put_lazy("lazy", "pending")
+        storage.put("hard", "barrier")          # synchronous write
+        # The barrier persisted the whole image, lazy value included,
+        # and the scheduled window flush found nothing left to do.
+        await asyncio.sleep(0)
+
+    asyncio.run(go())
+    reborn = FileStableStorage(0, path)
+    assert reborn.get("lazy") == "pending"
+    assert reborn.get("hard") == "barrier"
+
+
+def test_lazy_write_without_event_loop_persists_immediately(path):
+    storage = FileStableStorage(0, path, flush_window=0.05)
+    storage.put_lazy("k", 1)                    # no loop: fall back to sync
+    assert FileStableStorage(0, path).get("k") == 1
+
+
+def test_zero_window_keeps_one_fsync_per_mutation(path):
+    storage = FileStableStorage(0, path)
+    base = storage.persist_count
+    storage.put_lazy("a", 1)
+    storage.put_lazy("b", 2)
+    assert storage.persist_count == base + 2
+    assert storage.window_flushes == 0
+
+
+def test_log_token_dedupes_by_key_across_reloads(path):
+    storage = FileStableStorage(0, path)
+    token = RecoveryToken(origin=1, version=2, timestamp=7)
+    assert storage.log_token(token, dedupe_key=(1, 2)) is True
+    base = storage.persist_count
+    assert storage.log_token(token, dedupe_key=(1, 2)) is False
+    assert storage.persist_count == base        # duplicate: no fsync
+    assert storage.tokens == [token]
+    assert storage.token_log_dedups == 1
+
+    reborn = FileStableStorage(0, path)
+    assert reborn.log_token(token, dedupe_key=(1, 2)) is False
+    assert reborn.tokens == [token]

@@ -202,3 +202,44 @@ def test_double_attach_rejected():
     a.attach(Collector())
     with pytest.raises(RuntimeError):
         a.attach(Collector())
+
+
+def test_reload_heals_seq_counter_behind_outbox(tmp_path):
+    # A crash can land between an outbox append reaching disk and the
+    # matching counter update: the reloaded counter would then re-issue
+    # a seq already occupied in the reloaded outbox, and the receiver's
+    # dedup cursor would silently swallow the second message.  The
+    # constructor must never hand out a seq at or below the outbox max.
+    from repro.live.transport import _OUTBOX_KEY
+
+    path = os.path.join(str(tmp_path), "stable_p0.pickle")
+    storage = FileStableStorage(0, path)
+    stale = _msg(900, 0, 1, "survived the crash")
+    storage.put_lazy(
+        _OUTBOX_KEY,
+        {"entries": {1: [(36, stale)]}, "next_seq": {1: 36}},
+    )
+
+    ports = _free_ports(2)
+    reborn = MeshTransport(
+        0, 2, ports, boot=2, storage=FileStableStorage(0, path)
+    )
+    assert reborn._outbox[1] == [(36, stale)]
+    assert reborn._next_seq[1] == 37
+
+
+def test_outbox_and_seq_persist_in_one_image(tmp_path):
+    # The counter and the outbox share one storage key so a single
+    # atomic image write covers both -- there is no window in which one
+    # is durable without the other.
+    path = os.path.join(str(tmp_path), "stable_p0.pickle")
+    storage = FileStableStorage(0, path)
+    transport = MeshTransport(0, 2, _free_ports(2), storage=storage)
+    transport.send(1, _msg(1, 0, 1, "never acked"))
+    transport.send(1, _msg(2, 0, 1, "also never acked"))
+
+    reborn = MeshTransport(
+        0, 2, _free_ports(2), boot=2, storage=FileStableStorage(0, path)
+    )
+    assert [seq for seq, _ in reborn._outbox[1]] == [1, 2]
+    assert reborn._next_seq[1] == 3

@@ -1,0 +1,206 @@
+"""The binary wire codec: framing, value roundtrips, delta chains,
+dataclass interning, and the version/legacy-JSON dispatch rules."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.ftvc import FaultTolerantVectorClock as FTVC
+from repro.core.tokens import RecoveryToken
+from repro.live import wire
+from repro.live.codec import CodecError
+from repro.live.wire import (
+    FRAME_ACK,
+    FRAME_DATA,
+    FRAME_HELLO,
+    MAGIC,
+    WIRE_VERSION,
+    WireDecoder,
+    WireEncoder,
+    ack_frame,
+    frame_type,
+    hello_frame,
+    is_binary,
+    parse_ack,
+    parse_hello,
+)
+
+
+def roundtrip(value):
+    return WireDecoder().decode_value(WireEncoder().encode_value(value))
+
+
+class TestValueRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            1 << 40,
+            -(1 << 40),
+            3.14159,
+            float("inf"),
+            "",
+            "héllo ↯",
+            [1, "two", None],
+            (1, (2, 3)),
+            {"k": [1, 2], "nested": {"a": None}},
+            {1, 2, 3},
+            frozenset({("a", 1), ("b", 2)}),
+        ],
+    )
+    def test_scalar_and_container_roundtrip(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_bool_is_not_decoded_as_int(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+    def test_clock_roundtrip(self):
+        clock = FTVC.of([(0, 5), (2, 0), (1, 9)])
+        assert roundtrip(clock) == clock
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(CodecError):
+            WireEncoder().encode_value(object())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(CodecError):
+            WireDecoder().decode_value(b"\xff")
+
+    def test_trailing_bytes_raise(self):
+        data = WireEncoder().encode_value(1) + b"\x00"
+        with pytest.raises(CodecError):
+            WireDecoder().decode_value(data)
+
+
+class TestFrames:
+    def test_hello_roundtrip(self):
+        frame = hello_frame(3, 7)
+        assert is_binary(frame)
+        assert frame_type(frame) == FRAME_HELLO
+        assert parse_hello(frame) == (3, 7)
+
+    def test_ack_roundtrip(self):
+        frame = ack_frame(12345)
+        assert frame_type(frame) == FRAME_ACK
+        assert parse_ack(frame) == 12345
+
+    def test_data_frame_roundtrip(self):
+        enc, dec = WireEncoder(), WireDecoder()
+        frame = enc.data_frame(42, {"payload": [1, 2]})
+        assert frame_type(frame) == FRAME_DATA
+        assert dec.decode_data(frame) == (42, {"payload": [1, 2]})
+
+    def test_json_frames_are_not_binary(self):
+        # Dispatch is per frame, by first byte: a legacy JSON frame
+        # starts with '{' and must fall through to the text codec.
+        legacy = json.dumps({"ack": 3}).encode("utf-8")
+        assert not is_binary(legacy)
+        assert is_binary(bytes([MAGIC, WIRE_VERSION, FRAME_ACK]))
+
+    def test_unknown_wire_version_is_rejected(self):
+        frame = bytearray(hello_frame(0, 1))
+        frame[1] = WIRE_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            frame_type(bytes(frame))
+
+    def test_truncated_header_is_rejected(self):
+        with pytest.raises(CodecError):
+            frame_type(bytes([MAGIC]))
+
+
+class TestDeltaChain:
+    def test_second_clock_on_a_connection_is_a_delta(self):
+        enc, dec = WireEncoder(), WireDecoder()
+        clock = FTVC.initial(0, 8)
+        first = enc.encode_value(clock)
+        clock2 = clock.tick(0)
+        second = enc.encode_value(clock2)
+        assert len(second) < len(first)
+        assert dec.decode_value(first) == clock
+        assert dec.decode_value(second) == clock2
+
+    def test_fresh_connection_restarts_with_a_full_clock(self):
+        # A reconnect builds a fresh encoder: its first clock must be
+        # decodable with no prior state (the full-clock fallback).
+        enc = WireEncoder()
+        clock = FTVC.initial(0, 4).tick(0)
+        enc.encode_value(clock)         # chain warmed up
+        reconnect_enc, reconnect_dec = WireEncoder(), WireDecoder()
+        frame = reconnect_enc.encode_value(clock)
+        assert reconnect_dec.decode_value(frame) == clock
+
+    def test_delta_with_no_prior_clock_is_rejected(self):
+        enc = WireEncoder()
+        clock = FTVC.initial(0, 4)
+        enc.encode_value(clock)
+        delta_frame = enc.encode_value(clock.tick(0))
+        with pytest.raises(CodecError, match="no prior clock"):
+            WireDecoder().decode_value(delta_frame)
+
+    def test_duplicate_frames_keep_the_chain_in_lockstep(self):
+        # The transport decodes every data frame it reads, including
+        # dedup-dropped duplicates; a re-decoded delta must be a no-op.
+        enc, dec = WireEncoder(), WireDecoder()
+        clock = FTVC.initial(0, 4)
+        clock2 = clock.tick(0)
+        clock3 = clock2.tick(0)
+        f1, f2, f3 = (enc.encode_value(c) for c in (clock, clock2, clock3))
+        assert dec.decode_value(f1) == clock
+        assert dec.decode_value(f2) == clock2
+        assert dec.decode_value(f2) == clock2      # duplicate
+        assert dec.decode_value(f3) == clock3
+
+    def test_wholesale_change_falls_back_to_full_encoding(self):
+        enc, dec = WireEncoder(), WireDecoder()
+        clock = FTVC.of([(0, 1), (0, 2), (0, 3)])
+        enc.encode_value(clock)
+        changed = FTVC.of([(1, 0), (1, 0), (1, 0)])
+        frame = enc.encode_value(changed)
+        assert frame[0] == wire._T_FTVC_FULL
+        assert dec is not None  # decoder unused: full frames are stateless
+
+    def test_long_chain_roundtrips(self):
+        enc, dec = WireEncoder(), WireDecoder()
+        clock = FTVC.initial(0, 5)
+        for step in range(30):
+            clock = clock.tick(step % 5)
+            if step == 10:
+                clock = clock.restart(2)
+            assert dec.decode_value(enc.encode_value(clock)) == clock
+
+
+class TestDataclassInterning:
+    def test_second_instance_is_smaller_and_equal(self):
+        enc, dec = WireEncoder(), WireDecoder()
+        a = RecoveryToken(origin=1, version=2, timestamp=7)
+        b = RecoveryToken(origin=1, version=3, timestamp=9)
+        first = enc.encode_value(a)
+        second = enc.encode_value(b)
+        assert len(second) < len(first)     # DC_REF drops path + fields
+        assert dec.decode_value(first) == a
+        assert dec.decode_value(second) == b
+
+    def test_reference_before_definition_is_rejected(self):
+        enc = WireEncoder()
+        enc.encode_value(RecoveryToken(origin=0, version=0, timestamp=0))
+        ref_frame = enc.encode_value(
+            RecoveryToken(origin=0, version=1, timestamp=0)
+        )
+        with pytest.raises(CodecError, match="never defined"):
+            WireDecoder().decode_value(ref_frame)
+
+    def test_non_repro_dataclass_is_refused(self):
+        @dataclasses.dataclass
+        class Sneaky:
+            x: int
+
+        with pytest.raises(CodecError, match="non-repro"):
+            WireEncoder().encode_value(Sneaky(x=1))

@@ -19,7 +19,10 @@ Subcommands:
 - ``wire-bench`` -- wire & storage fast path: delta-clock piggyback cost
                   on stress-mix plus before/after live cluster runs
                   (JSON vs binary frames, per-mutation vs group-commit
-                  fsyncs), emitting ``BENCH_wire.json``.
+                  fsyncs), emitting ``BENCH_wire.json``;
+- ``load``     -- open-loop load generator: one live cluster per offered
+                  rate, honest p50/p99 latency-vs-offered-load curves,
+                  emitting ``BENCH_load.json``.
 
 Examples::
 
@@ -470,6 +473,61 @@ def cmd_wire_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    """Open-loop load sweep; emit BENCH_load.json."""
+    import tempfile
+
+    from repro.live.load import (
+        append_trend_row,
+        check_load_payload,
+        check_trend,
+        write_load_bench,
+    )
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-load-")
+    payload = write_load_bench(
+        args.out,
+        workdir,
+        n=args.n,
+        rates=tuple(args.rates),
+        duration=args.duration,
+        start_at=args.start_at,
+    )
+    for name, s in payload["scenarios"].items():
+        lat = s["job_latency_s"]
+        print(f"{name}: {s['verdict']}")
+        print(
+            f"  offered {s['offered_rate']:.0f}/s -> "
+            f"{s['app_deliveries']} deliveries in "
+            f"{s['active_seconds']}s active "
+            f"({s['deliveries_per_second']}/s; "
+            f"{s['deliveries_per_second_wall']}/s wall)"
+        )
+        print(
+            f"  latency p50={lat['p50']}s p99={lat['p99']}s "
+            f"min={lat['min']}s max={lat['max']}s"
+        )
+    print(
+        f"max sustained rate        : {payload['max_sustained_rate']}"
+    )
+    print(
+        f"peak deliveries/sec       : "
+        f"{payload['peak_deliveries_per_second']}"
+    )
+    print(f"written: {args.out}")
+
+    problems = check_load_payload(
+        payload, min_deliveries_per_sec=args.min_deliveries_per_sec
+    )
+    if args.trend_file:
+        if args.check_trend:
+            problems.extend(check_trend(args.trend_file, payload))
+        append_trend_row(args.trend_file, payload)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -630,6 +688,30 @@ def build_parser() -> argparse.ArgumentParser:
     wire_bench.add_argument("--out", default="BENCH_wire.json")
     wire_bench.add_argument("--workdir", default=None)
     wire_bench.set_defaults(func=cmd_wire_bench)
+
+    load = sub.add_parser(
+        "load",
+        help="open-loop load sweep over live clusters (BENCH_load.json)",
+    )
+    load.add_argument("-n", type=int, default=4)
+    load.add_argument("--rates", type=float, nargs="+",
+                      default=[250.0, 500.0, 1000.0, 2000.0],
+                      help="offered job rates to sweep (jobs/sec)")
+    load.add_argument("--duration", type=float, default=4.0,
+                      help="seconds of offered load per scenario")
+    load.add_argument("--start-at", type=float, default=0.25,
+                      help="env-time of the first injection")
+    load.add_argument("--out", default="BENCH_load.json")
+    load.add_argument("--workdir", default=None)
+    load.add_argument("--min-deliveries-per-sec", type=float, default=0.0,
+                      help="fail unless the sweep's best scenario reaches "
+                           "this active-window throughput")
+    load.add_argument("--trend-file", default=None, metavar="JSONL",
+                      help="append a one-line trend row after the sweep")
+    load.add_argument("--check-trend", action="store_true",
+                      help="fail if peak throughput collapses vs the "
+                           "trend file's best recorded row")
+    load.set_defaults(func=cmd_load)
     return parser
 
 

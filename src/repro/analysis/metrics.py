@@ -12,10 +12,27 @@ paper's overhead analysis talks about:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.harness.runner import ExperimentResult
 from repro.sim.trace import EventKind
+
+
+def percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile (no interpolation).
+
+    The nearest-rank definition: the q-th percentile of n ordered samples
+    is the value at rank ``ceil(q * n)`` (1-based), clamped to at least
+    rank 1 so ``q=0`` returns the minimum.  For two samples, p50 is the
+    *lower* one -- ``int(q * n)`` style truncation is off by one there and
+    returns the maximum instead.  Returns ``None`` for an empty list.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 @dataclass

@@ -29,12 +29,14 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ClockEntry:
     """One ``(version, timestamp)`` component.
 
     ``order=True`` gives exactly the paper's lexicographic order, because
-    ``version`` is declared first.
+    ``version`` is declared first.  ``slots=True`` because live clusters
+    allocate one entry per changed clock component per message -- the
+    per-instance dict is pure overhead on the hot path.
     """
 
     version: int = 0
@@ -115,9 +117,18 @@ class FaultTolerantVectorClock:
         """Component-wise maximum under the lexicographic entry order."""
         if len(other) != len(self):
             raise ValueError("FTVC length mismatch")
-        return FaultTolerantVectorClock(
-            tuple(max(a, b) for a, b in zip(self._entries, other._entries))
+        merged = tuple(
+            max(a, b) for a, b in zip(self._entries, other._entries)
         )
+        # Hot-path fast path: on a pipeline link the receiver's clock very
+        # often already dominates (or is dominated by) the message clock;
+        # returning the existing immutable instance skips an allocation
+        # per delivery.
+        if merged == self._entries:
+            return self
+        if merged == other._entries:
+            return other
+        return FaultTolerantVectorClock(merged)
 
     def restart(self, pid: int) -> "FaultTolerantVectorClock":
         """New incarnation: own version + 1, own timestamp reset to 0.

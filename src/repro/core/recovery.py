@@ -392,6 +392,22 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self._register_send(send.dst, send.payload, transmit=False)
         self.emit_outputs(ctx.outputs, replay=True)
 
+    def inject_app_send(self, dst: int, payload: Any) -> None:
+        """Environment-driven send outside any delivery or bootstrap.
+
+        The entry point for open-loop load generation
+        (:mod:`repro.live.load`): the source hands jobs to the protocol at
+        its own cadence and each goes out with the current clock and a
+        fresh dedup id, exactly like a bootstrap send.  Like bootstrap
+        sends, injected sends are not replayable from the log -- ones
+        newer than the last checkpoint are lost if this process fails --
+        so a load scenario must not crash the injecting process.  That is
+        sound for the same reason bootstrap is: a process that never
+        *receives* application messages acquires no foreign clock
+        dependencies and can never become an orphan.
+        """
+        self._register_send(dst, payload, transmit=True)
+
     def _register_send(self, dst: int, payload: Any, *, transmit: bool) -> None:
         """Attach the current clock, remember send history, tick.
 

@@ -21,10 +21,13 @@ SIGKILL crashes:
 - :mod:`repro.live.verify` -- recovery/no-orphan verdict over the merged
   trace;
 - :mod:`repro.live.bench` -- throughput/latency benchmark
-  (``BENCH_live.json``).
+  (``BENCH_live.json``);
+- :mod:`repro.live.load` -- open-loop load generator and offered-rate
+  sweep (``BENCH_load.json``).
 """
 
 from repro.live.env import LiveEnv, LiveTrace
+from repro.live.load import LoadPipelineApp, OpenLoopSource, run_load_bench
 from repro.live.storage import FileStableStorage
 from repro.live.supervisor import LiveClusterSpec, LiveCrashPlan, run_cluster
 from repro.live.verify import LiveVerdict, check_live_run
@@ -36,6 +39,8 @@ __all__ = [
     "LiveEnv",
     "LiveTrace",
     "LiveVerdict",
+    "LoadPipelineApp",
+    "OpenLoopSource",
     "check_live_run",
     "run_cluster",
 ]

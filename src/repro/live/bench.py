@@ -25,16 +25,26 @@ from repro.live.supervisor import (
     LiveRunResult,
     run_cluster,
 )
+from repro.analysis.metrics import percentile
 from repro.live.verify import check_live_run
 from repro.runtime.trace import EventKind
 
 
-def _percentile(values: list[float], q: float) -> float | None:
-    if not values:
+def active_window(trace: Any) -> tuple[float, float] | None:
+    """The work interval of a live trace: first app delivery to last
+    committed output.  This is the honest throughput denominator -- the
+    wall-clock window additionally contains the readiness barrier, any
+    crash-plan sleep padding, and the post-deadline linger, none of which
+    the protocol can spend delivering messages."""
+    delivers = trace.events(EventKind.DELIVER)
+    outputs = trace.events(EventKind.OUTPUT)
+    if not delivers or not outputs:
         return None
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(q * len(ordered)))
-    return ordered[index]
+    start = min(e.time for e in delivers)
+    end = max(e.time for e in outputs)
+    if end <= start:
+        return None
+    return start, end
 
 
 def _scenario_report(result: LiveRunResult) -> dict[str, Any]:
@@ -46,21 +56,35 @@ def _scenario_report(result: LiveRunResult) -> dict[str, Any]:
     latencies = sorted(e.time for e in outputs)
     makespan = latencies[-1] if latencies else None
     delivered = result.total_delivered
+    window = active_window(result.trace)
+    active_seconds = (window[1] - window[0]) if window else None
     report: dict[str, Any] = {
         "verdict": verdict.summary(),
         "ok": verdict.ok,
         "jobs": spec.jobs,
         "outputs_committed": verdict.outputs_committed,
         "wall_seconds": round(result.wall_seconds, 3),
+        "active_seconds": (
+            round(active_seconds, 4) if active_seconds else None
+        ),
         "app_deliveries": delivered,
+        # Active-window rate: deliveries over first-delivery -> last-
+        # output.  The wall rate divides by the whole run (barrier +
+        # crash padding + linger included) and is kept for context.
         "deliveries_per_second": (
+            round(delivered / active_seconds, 2)
+            if active_seconds
+            else None
+        ),
+        "deliveries_per_second_wall": (
             round(delivered / result.wall_seconds, 2)
             if result.wall_seconds > 0
             else None
         ),
         "job_latency_s": {
-            "p50": _percentile(latencies, 0.50),
-            "p90": _percentile(latencies, 0.90),
+            "p50": percentile(latencies, 0.50),
+            "p90": percentile(latencies, 0.90),
+            "p99": percentile(latencies, 0.99),
             "max": makespan,
         },
         "exit_codes": {

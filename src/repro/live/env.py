@@ -1,9 +1,13 @@
 """The live (asyncio) implementation of :class:`~repro.runtime.env.RuntimeEnv`.
 
 One :class:`LiveEnv` backs one OS process in a live cluster.  The clock is
-wall time relative to a cluster-wide epoch, timers are event-loop timers,
-sends go through the reconnecting mesh transport, and the trace is an
-append-only JSONL file the supervisor later merges across processes.
+monotonic time anchored once to the cluster-wide epoch (the wall clock is
+consulted exactly one time, at anchor computation; every subsequent ``now``
+read is ``time.monotonic()`` against that anchor, so NTP slews and
+wall-clock steps cannot warp env-time or produce negative latencies),
+timers are event-loop timers, sends go through the reconnecting mesh
+transport, and the trace is an append-only JSONL file the supervisor later
+merges across processes.
 
 ``alive`` is always true here: a live process that crashed is not running
 this code.  Downtime is real -- the supervisor SIGKILLs the process and
@@ -121,6 +125,7 @@ class LiveEnv(RuntimeEnv):
         trace: LiveTrace | None = None,
         tracer: Any | None = None,
         loop: asyncio.AbstractEventLoop | None = None,
+        mono_anchor: float | None = None,
     ) -> None:
         self.pid = pid
         self.n = n
@@ -132,13 +137,21 @@ class LiveEnv(RuntimeEnv):
         self._crash_count = crash_count
         self._loop = loop
         self._msg_counter = 0
+        # ``mono_anchor`` is the time.monotonic() reading that corresponds
+        # to env-time zero.  Callers that observed the epoch at a known
+        # instant (repro.live.node) pass their own anchor; otherwise it is
+        # derived here with the construction-time wall clock -- the single
+        # wall-clock read this object ever makes.
+        if mono_anchor is None:
+            mono_anchor = time.monotonic() - (time.time() - epoch)
+        self._mono_anchor = mono_anchor
 
     # ------------------------------------------------------------------
     # Clock, liveness, observability
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        return time.time() - self.epoch
+        return time.monotonic() - self._mono_anchor
 
     @property
     def alive(self) -> bool:

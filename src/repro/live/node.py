@@ -61,16 +61,32 @@ def build_app(spec: dict[str, Any]):
     kind = spec.get("kind", "pipeline")
     if kind == "pipeline":
         return PipelineApp(jobs=int(spec.get("jobs", 32)))
+    if kind == "load":
+        from repro.live.load import LoadPipelineApp
+
+        return LoadPipelineApp(jobs=int(spec.get("jobs", 32)))
     raise ValueError(f"unknown app kind {kind!r}")
 
 
-async def _await_epoch(path: str, timeout: float = 30.0) -> float:
-    """Poll for the supervisor's epoch file (written atomically)."""
-    deadline = time.time() + timeout
-    while time.time() < deadline:
+async def _await_epoch(path: str, timeout: float = 30.0) -> tuple[float, float]:
+    """Poll for the supervisor's epoch file (written atomically).
+
+    Returns ``(epoch, mono_anchor)`` where ``mono_anchor`` is the
+    ``time.monotonic()`` reading corresponding to env-time zero, computed
+    at the observation instant.  This is the process's single wall-clock
+    read: from here on, env-time is purely monotonic, so wall-clock steps
+    (NTP, a virtualised clock jumping) cannot warp timestamps or make
+    latencies negative.  The supervisor publishes the epoch *before* any
+    node can observe it, so ``time.time() - epoch >= 0`` here and env-time
+    starts non-negative on every process.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as fh:
-                return float(json.load(fh)["epoch"])
+                epoch = float(json.load(fh)["epoch"])
+            mono_anchor = time.monotonic() - (time.time() - epoch)
+            return epoch, mono_anchor
         await asyncio.sleep(0.01)
     raise RuntimeError(f"epoch file {path} never appeared")
 
@@ -102,7 +118,7 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
     # Phase 2: the epoch exists once the whole mesh is up.  Messages
     # arriving in the meantime are buffered by the transport and drained
     # only after on_start/on_restart has run (attach defers the drain).
-    epoch = await _await_epoch(cfg["epoch_path"])
+    epoch, mono_anchor = await _await_epoch(cfg["epoch_path"])
 
     trace = LiveTrace(open(cfg["trace_path"], "a", encoding="utf-8"))
     env = LiveEnv(
@@ -113,6 +129,7 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         epoch=epoch,
         crash_count=boot - 1,
         trace=trace,
+        mono_anchor=mono_anchor,
     )
     protocol_cls = PROTOCOL_REGISTRY[cfg.get("protocol", "damani-garg")]
     protocol = protocol_cls(
@@ -129,12 +146,28 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         protocol.on_restart()
         protocol.start_periodic_tasks()
 
-    deadline = epoch + float(cfg["run_until"])
-    await asyncio.sleep(max(0.0, deadline - time.time()))
+    app_spec = cfg.get("app", {})
+    source = None
+    if app_spec.get("kind") == "load" and pid == 0:
+        from repro.live.load import OpenLoopSource
+
+        source = OpenLoopSource(
+            protocol,
+            rate=float(app_spec.get("rate", 100.0)),
+            jobs=int(app_spec.get("jobs", 32)),
+            start_at=float(app_spec.get("start_at", 0.25)),
+        )
+        source.start()
+
+    # The deadline runs on the env clock (monotonic since the anchor), so
+    # a wall-clock step mid-run cannot stretch or truncate the schedule.
+    await asyncio.sleep(max(0.0, float(cfg["run_until"]) - env.now))
+    if source is not None:
+        source.stop()
     protocol.halt_periodic_tasks()
     # Let in-flight traffic (including our own retransmissions) settle.
-    linger_until = time.time() + float(cfg.get("linger", 1.5))
-    while time.time() < linger_until:
+    linger_until = time.monotonic() + float(cfg.get("linger", 1.5))
+    while time.monotonic() < linger_until:
         await asyncio.sleep(0.1)
 
     stats = dataclasses.asdict(protocol.stats)
@@ -166,6 +199,8 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         "token_log_dedups": storage.token_log_dedups,
         "trace_records": trace.records_written,
     }
+    if source is not None:
+        done["load"] = source.report()
     # Harden any lazy writes still inside the group-commit window before
     # reporting success (the done file implies a clean shutdown).
     storage.sync()
@@ -174,12 +209,35 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
     return done
 
 
+def _maybe_install_uvloop(cfg: dict[str, Any]) -> bool:
+    """Install uvloop if requested and importable.
+
+    Opt-in via ``"event_loop": "uvloop"`` in the node config or the
+    ``REPRO_LIVE_EVENT_LOOP=uvloop`` environment variable.  uvloop is
+    never a dependency: when it is absent the stock asyncio loop is used
+    silently, so configs are portable across environments with and
+    without it.
+    """
+    want = cfg.get(
+        "event_loop", os.environ.get("REPRO_LIVE_EVENT_LOOP", "asyncio")
+    )
+    if want != "uvloop":
+        return False
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.live.node")
     parser.add_argument("--config", required=True)
     args = parser.parse_args(argv)
     with open(args.config, "r", encoding="utf-8") as fh:
         cfg = json.load(fh)
+    _maybe_install_uvloop(cfg)
     done = asyncio.run(run_node(cfg))
     tmp = cfg["done_path"] + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:

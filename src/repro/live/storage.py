@@ -155,6 +155,32 @@ class FileStableStorage(StableStorage):
             self.flush_window, self._window_fire
         )
 
+    def mark_lazy_dirty(self) -> None:
+        """Provider-backed lazy write: O(1) dirty bit, snapshot deferred.
+
+        Unlike the in-memory base (which materialises immediately), the
+        provider is invoked inside :meth:`_persist` -- once per actual
+        file write, not once per mutation.  Durability class is identical
+        to :meth:`put_lazy`: the next barrier or flush window hardens it.
+        """
+        self.lazy_writes += 1
+        if self._loading:
+            return
+        if self.flush_window <= 0:
+            self._persist()
+            return
+        self._dirty = True
+        if self._flush_handle is not None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self._persist()
+            return
+        self._flush_handle = loop.call_later(
+            self.flush_window, self._window_fire
+        )
+
     def _window_fire(self) -> None:
         self._flush_handle = None
         if self._dirty:
@@ -175,6 +201,8 @@ class FileStableStorage(StableStorage):
     # Persistence
     # ------------------------------------------------------------------
     def _durable_state(self) -> dict[str, Any]:
+        # Snapshot provider-backed values now: one call per file write.
+        self._materialize_providers()
         return {
             "version": _FORMAT_VERSION,
             "pid": self.pid,

@@ -58,6 +58,10 @@ class LiveClusterSpec:
     flush_interval: float = 0.15
     crashes: list[LiveCrashPlan] = field(default_factory=list)
     host: str = "127.0.0.1"
+    # Application spec passed to every node.  None means the classic
+    # closed pipeline workload ({"kind": "pipeline", "jobs": jobs}); the
+    # load benchmark substitutes an open-loop source here.
+    app: dict[str, Any] | None = None
     # Wire format for the mesh links: "binary" (delta clocks, varint
     # framing) or "json" (the legacy text codec, kept for comparison
     # runs and old-trace tooling).
@@ -193,7 +197,11 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
             "run_until": spec.run_seconds,
             "linger": spec.linger,
             "protocol": spec.protocol,
-            "app": {"kind": "pipeline", "jobs": spec.jobs},
+            "app": (
+                spec.app
+                if spec.app is not None
+                else {"kind": "pipeline", "jobs": spec.jobs}
+            ),
             "config": spec.protocol_config(),
             "wire_format": spec.wire_format,
             "storage_flush_window": spec.storage_flush_window,
@@ -219,8 +227,19 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
     # bound its port before env-time starts, so the crash schedule below
     # can never land on a half-started interpreter.
     _await_ports(ports, spec.host, procs)
-    epoch = time.time() + 0.1
+    # The epoch is *now*, not a point in the future: nodes observe the
+    # file strictly after this instant, so env-time is non-negative on
+    # every process.  (The old ``time.time() + 0.1`` pre-dated publish by
+    # design and made every early event -- including job outputs -- carry
+    # a negative timestamp.)  ``epoch_mono`` is the same instant on the
+    # monotonic clock; all supervisor-side scheduling below uses it so a
+    # wall-clock step cannot shift kill times.
+    epoch = time.time()
+    epoch_mono = time.monotonic()
     _publish_epoch(epoch_path, epoch)
+
+    def env_now() -> float:
+        return time.monotonic() - epoch_mono
 
     # Supervisor-side trace: the CRASH events (a SIGKILLed process cannot
     # record its own death).
@@ -229,11 +248,11 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
     crash_counts: dict[int, int] = {}
     with open(sup_trace_path, "w", encoding="utf-8") as sup_trace:
         for crash in sorted(spec.crashes, key=lambda c: c.at):
-            time.sleep(max(0.0, epoch + crash.at - time.time()))
+            time.sleep(max(0.0, crash.at - env_now()))
             victim = procs[crash.pid]
             victim.kill()   # SIGKILL
             victim.wait()
-            kill_time = time.time() - epoch
+            kill_time = env_now()
             kills.append((crash.pid, kill_time))
             crash_counts[crash.pid] = crash_counts.get(crash.pid, 0) + 1
             sup_trace.write(
@@ -249,17 +268,17 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
             )
             sup_trace.flush()
             time.sleep(
-                max(0.0, epoch + crash.at + crash.downtime - time.time())
+                max(0.0, crash.at + crash.downtime - env_now())
             )
             procs[crash.pid] = _spawn(
                 config_paths[crash.pid], log_paths[crash.pid]
             )
 
     # Wait for the nodes to finish (they self-terminate at the deadline).
-    hard_stop = epoch + spec.run_seconds + spec.linger + 10.0
+    hard_stop = spec.run_seconds + spec.linger + 10.0
     exit_codes: dict[int, int] = {}
     for pid, proc in procs.items():
-        remaining = max(0.1, hard_stop - time.time())
+        remaining = max(0.1, hard_stop - env_now())
         try:
             exit_codes[pid] = proc.wait(timeout=remaining)
         except subprocess.TimeoutExpired:

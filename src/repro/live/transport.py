@@ -42,7 +42,12 @@ import time
 from typing import Any
 
 from repro.live import codec, wire
-from repro.live.framing import FramingError, frame, read_frame, write_frame
+from repro.live.framing import (
+    BufferedFrameReader,
+    FramingError,
+    frame,
+    write_frame,
+)
 from repro.runtime.message import NetworkMessage
 
 #: One storage key holds the outbox AND the per-link sequence counters.
@@ -134,6 +139,15 @@ class MeshTransport:
                     floor = max(seq for seq, _ in entries) + 1
                     if self._next_seq[dst] < floor:
                         self._next_seq[dst] = floor
+        # Register the outbox as a lazy *provider*: the storage snapshots
+        # it via this callback when it actually writes, so send() marks a
+        # dirty bit in O(1) instead of serialising the whole outbox into
+        # a put_lazy value on every message.
+        self._has_provider = storage is not None and hasattr(
+            storage, "register_lazy_provider"
+        )
+        if self._has_provider:
+            storage.register_lazy_provider(_OUTBOX_KEY, self._outbox_image)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -211,6 +225,17 @@ class MeshTransport:
         if dst in self._wake:
             self._wake[dst].set()
 
+    def _outbox_image(self) -> dict[str, Any]:
+        """Snapshot for stable storage; called by the storage at persist
+        time (lazy provider) or built eagerly for plain ``put_lazy``."""
+        return {
+            "entries": {
+                dst: list(entries)
+                for dst, entries in self._outbox.items()
+            },
+            "next_seq": dict(self._next_seq),
+        }
+
     def _persist_outbox(self) -> None:
         # Lazy (group-commit) writes: the outbox rides to disk with the
         # next storage barrier or flush window.  Sound because a message
@@ -222,16 +247,13 @@ class MeshTransport:
         # included.
         if self.storage is None:
             return
-        self.storage.put_lazy(
-            _OUTBOX_KEY,
-            {
-                "entries": {
-                    dst: list(entries)
-                    for dst, entries in self._outbox.items()
-                },
-                "next_seq": dict(self._next_seq),
-            },
-        )
+        if self._has_provider:
+            # O(1): the storage snapshots via _outbox_image when (and only
+            # when) it writes, so a burst of sends inside one flush window
+            # costs one snapshot, not one per message.
+            self.storage.mark_lazy_dirty()
+            return
+        self.storage.put_lazy(_OUTBOX_KEY, self._outbox_image())
 
     def _encode_data(
         self, encoder: wire.WireEncoder | None, seq: int, msg: NetworkMessage
@@ -329,19 +351,26 @@ class MeshTransport:
             await writer.drain()
 
     async def _ack_loop(self, dst: int, reader: asyncio.StreamReader) -> None:
+        # Acks are cumulative per link, so a batch of ack frames collapses
+        # to its maximum: one outbox prune and one persist per read batch.
+        buffered = BufferedFrameReader(reader)
         while self._running:
-            data = await read_frame(reader)
-            if data is None:
+            batch = await buffered.read_batch()
+            if batch is None:
                 return
-            self.bytes_received += len(data) + 4
-            if wire.is_binary(data):
-                if wire.frame_type(data) != wire.FRAME_ACK:
-                    continue
-                acked = wire.parse_ack(data)
-            else:
-                acked = json.loads(data.decode("utf-8")).get("ack")
-                if acked is None:
-                    continue
+            acked = -1
+            for data in batch:
+                self.bytes_received += len(data) + 4
+                if wire.is_binary(data):
+                    if wire.frame_type(data) != wire.FRAME_ACK:
+                        continue
+                    acked = max(acked, wire.parse_ack(data))
+                else:
+                    value = json.loads(data.decode("utf-8")).get("ack")
+                    if value is not None:
+                        acked = max(acked, value)
+            if acked < 0:
+                continue
             before = len(self._outbox[dst])
             self._outbox[dst] = [
                 e for e in self._outbox[dst] if e[0] > acked
@@ -359,59 +388,73 @@ class MeshTransport:
         if task is not None:
             self._conn_tasks.add(task)
         try:
-            data = await read_frame(reader)
-            if data is None:
-                return
-            self.bytes_received += len(data) + 4
-            if wire.is_binary(data):
-                if wire.frame_type(data) != wire.FRAME_HELLO:
-                    return
-                key = wire.parse_hello(data)
-            else:
-                hello = json.loads(data.decode("utf-8")).get("hello")
-                if hello is None:
-                    return
-                key = (int(hello["pid"]), int(hello["boot"]))
-            _dbg(f"p{self.pid} accepted connection from {key}")
+            buffered = BufferedFrameReader(reader)
+            key: tuple[int, int] | None = None
             decoder = wire.WireDecoder()
             while self._running:
-                data = await read_frame(reader)
-                if data is None:
+                batch = await buffered.read_batch()
+                if batch is None:
                     return
-                self.bytes_received += len(data) + 4
-                binary = wire.is_binary(data)
-                # Decode every frame -- duplicates included -- BEFORE
-                # touching the dedup cursor.  The decoder's delta chain
-                # must advance in lockstep with the sender's encoder, and
-                # a decode error must drop the connection with the cursor
-                # untouched so the retransmit gets another chance.
-                if binary:
-                    if wire.frame_type(data) != wire.FRAME_DATA:
+                ack_seq: int | None = None
+                ack_binary = False
+                for data in batch:
+                    self.bytes_received += len(data) + 4
+                    if key is None:
+                        # First frame on the link is the sender's hello.
+                        if wire.is_binary(data):
+                            if wire.frame_type(data) != wire.FRAME_HELLO:
+                                return
+                            key = wire.parse_hello(data)
+                        else:
+                            hello = json.loads(
+                                data.decode("utf-8")
+                            ).get("hello")
+                            if hello is None:
+                                return
+                            key = (int(hello["pid"]), int(hello["boot"]))
+                        _dbg(f"p{self.pid} accepted connection from {key}")
+                        continue
+                    binary = wire.is_binary(data)
+                    # Decode every frame -- duplicates included -- BEFORE
+                    # touching the dedup cursor.  The decoder's delta
+                    # chain must advance in lockstep with the sender's
+                    # encoder, and a decode error must drop the
+                    # connection with the cursor untouched so the
+                    # retransmit gets another chance.
+                    if binary:
+                        if wire.frame_type(data) != wire.FRAME_DATA:
+                            raise FramingError(
+                                f"unexpected binary frame type on data link"
+                            )
+                        seq, msg = decoder.decode_data(data)
+                    else:
+                        obj = json.loads(data.decode("utf-8"))
+                        seq = obj["seq"]
+                        msg = codec.decode(obj["msg"])
+                    if not isinstance(msg, NetworkMessage):
                         raise FramingError(
-                            f"unexpected binary frame type on data link"
+                            f"frame is not a NetworkMessage: {msg!r}"
                         )
-                    seq, msg = decoder.decode_data(data)
-                else:
-                    obj = json.loads(data.decode("utf-8"))
-                    seq = obj["seq"]
-                    msg = codec.decode(obj["msg"])
-                if not isinstance(msg, NetworkMessage):
-                    raise FramingError(
-                        f"frame is not a NetworkMessage: {msg!r}"
+                    if seq > self._seen.get(key, 0):
+                        self._seen[key] = seq
+                        self._deliver(msg)
+                    else:
+                        _dbg(f"p{self.pid} dedup drop {key} seq={seq} "
+                             f"(seen={self._seen.get(key)})")
+                    ack_seq = seq
+                    ack_binary = binary
+                # Per-link seqs are strictly increasing on a connection,
+                # and the sender prunes cumulatively -- so a batch of
+                # data frames needs exactly one ack (the last seq), one
+                # write and one drain, not one round per frame.
+                if ack_seq is not None:
+                    ack = (
+                        wire.ack_frame(ack_seq)
+                        if ack_binary
+                        else json.dumps({"ack": ack_seq}).encode("utf-8")
                     )
-                if seq > self._seen.get(key, 0):
-                    self._seen[key] = seq
-                    self._deliver(msg)
-                else:
-                    _dbg(f"p{self.pid} dedup drop {key} seq={seq} "
-                         f"(seen={self._seen.get(key)})")
-                ack = (
-                    wire.ack_frame(seq)
-                    if binary
-                    else json.dumps({"ack": seq}).encode("utf-8")
-                )
-                await write_frame(writer, ack)
-                self.bytes_sent += len(ack) + 4
+                    await write_frame(writer, ack)
+                    self.bytes_sent += len(ack) + 4
         except (ConnectionError, OSError, FramingError):
             pass
         except asyncio.CancelledError:

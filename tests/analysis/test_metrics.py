@@ -106,3 +106,55 @@ class TestRecoveryLatencies:
             assert latency.settle_time >= max(e.time for e in rollbacks)
             return
         raise AssertionError("no seed produced a rollback")
+
+
+class TestPercentile:
+    """Nearest-rank percentile: rank = max(1, ceil(q*n)), 1-indexed."""
+
+    def test_empty_is_none(self):
+        from repro.analysis.metrics import percentile
+
+        assert percentile([], 0.5) is None
+
+    def test_singleton_every_quantile(self):
+        from repro.analysis.metrics import percentile
+
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert percentile([42.0], q) == 42.0
+
+    def test_odd_sample_median_is_middle_element(self):
+        from repro.analysis.metrics import percentile
+
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_even_sample_median_is_lower_of_the_two(self):
+        """Nearest rank never interpolates: ceil(0.5*4) = rank 2."""
+        from repro.analysis.metrics import percentile
+
+        assert percentile([4.0, 1.0, 3.0, 2.0], 0.5) == 2.0
+
+    def test_p99_of_100_samples_is_the_99th_not_the_100th(self):
+        """The old buggy int(0.99*100) indexed element 100 (the max)."""
+        from repro.analysis.metrics import percentile
+
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_p90_of_10_samples(self):
+        from repro.analysis.metrics import percentile
+
+        values = [float(i) for i in range(1, 11)]
+        assert percentile(values, 0.9) == 9.0
+
+    def test_low_quantile_clamps_to_minimum(self):
+        from repro.analysis.metrics import percentile
+
+        assert percentile([5.0, 6.0, 7.0], 0.0) == 5.0
+
+    def test_input_order_is_irrelevant(self):
+        from repro.analysis.metrics import percentile
+
+        assert percentile([9.0, 1.0, 5.0], 0.99) == percentile(
+            [1.0, 5.0, 9.0], 0.99
+        )

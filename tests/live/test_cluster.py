@@ -82,3 +82,43 @@ def test_cluster_compacts_history_under_gossiped_stability(tmp_path):
     )
     assert compacted > 0, "no history record was ever compacted"
     assert set(result.exit_codes.values()) == {0}, result.exit_codes
+
+
+def test_env_clocks_stay_monotonic_across_sigkill_restart(tmp_path):
+    """Regression for the negative-latency bug: every trace timestamp
+    must be non-negative, and each process's trace file -- which spans
+    the SIGKILL boundary, with the two incarnations anchoring env-time
+    independently -- must never step backwards."""
+    import json
+
+    spec = LiveClusterSpec(
+        n=3,
+        jobs=6,
+        run_seconds=3.0,
+        linger=1.0,
+        crashes=[LiveCrashPlan(pid=1, at=0.6, downtime=0.6)],
+    )
+    result = run_cluster(spec, str(tmp_path))
+    verdict = check_live_run(result.trace, n=spec.n, jobs=spec.jobs)
+    assert verdict.ok, verdict.summary()
+
+    # Merged trace: nothing before env-time zero, outputs included.
+    assert all(e.time >= 0.0 for e in result.trace), (
+        "trace carries events before the cluster epoch"
+    )
+    outputs = result.trace.events(EventKind.OUTPUT)
+    assert outputs and all(e.time >= 0.0 for e in outputs)
+
+    # Per-process files: monotonic across the crash/restart boundary.
+    for pid in range(spec.n):
+        path = os.path.join(str(tmp_path), f"trace_p{pid}.jsonl")
+        with open(path, "r", encoding="utf-8") as fh:
+            stamps = [json.loads(line)["t"] for line in fh if line.strip()]
+        assert stamps, f"p{pid} wrote no trace"
+        assert stamps == sorted(stamps), (
+            f"p{pid} trace time-warped across restart"
+        )
+
+    # The done reports carry sane env-clock readings too.
+    for pid, done in result.done.items():
+        assert done["env_time"] > 0.0

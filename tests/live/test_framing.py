@@ -106,3 +106,124 @@ def test_write_and_read_over_a_real_socket():
         assert received == [b"first", b"second"]
 
     _run(go())
+
+
+# ---------------------------------------------------------------------------
+# BufferedFrameReader: bulk reads, frame batches, EOF semantics
+# ---------------------------------------------------------------------------
+def test_buffered_reader_returns_all_buffered_frames_in_one_batch():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        reader = _reader_with(frame(b"one") + frame(b"") + frame(b"two"))
+        buffered = BufferedFrameReader(reader)
+        frames = []
+        while True:
+            batch = await buffered.read_batch()
+            if batch is None:
+                break
+            frames.extend(batch)
+        assert frames == [b"one", b"", b"two"]
+
+    _run(go())
+
+
+def test_buffered_reader_clean_eof_is_none():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        assert await BufferedFrameReader(_reader_with(b"")).read_batch() is None
+
+    _run(go())
+
+
+def test_buffered_reader_eof_mid_frame_raises():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        buffered = BufferedFrameReader(_reader_with(frame(b"hello")[:-2]))
+        with pytest.raises(FramingError):
+            await buffered.read_batch()
+
+    _run(go())
+
+
+def test_buffered_reader_eof_mid_header_raises():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        buffered = BufferedFrameReader(_reader_with(b"\x00\x00"))
+        with pytest.raises(FramingError):
+            await buffered.read_batch()
+
+    _run(go())
+
+
+def test_buffered_reader_rejects_oversize_frame():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        header = struct.pack(">I", MAX_FRAME + 1)
+        buffered = BufferedFrameReader(_reader_with(header))
+        with pytest.raises(FramingError):
+            await buffered.read_batch()
+
+    _run(go())
+
+
+def test_buffered_reader_reassembles_frames_split_across_reads():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        data = frame(b"alpha") + frame(b"beta")
+        reader = asyncio.StreamReader()
+        buffered = BufferedFrameReader(reader)
+        reader.feed_data(data[:3])   # partial header
+        task = asyncio.ensure_future(buffered.read_batch())
+        await asyncio.sleep(0.01)
+        assert not task.done()
+        reader.feed_data(data[3:7])  # header + part of body
+        await asyncio.sleep(0.01)
+        reader.feed_data(data[7:])
+        reader.feed_eof()
+        frames = list(await task)
+        while True:
+            batch = await buffered.read_batch()
+            if batch is None:
+                break
+            frames.extend(batch)
+        assert frames == [b"alpha", b"beta"]
+
+    _run(go())
+
+
+def test_buffered_reader_interoperates_with_write_frame_socket():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        received = []
+        done = asyncio.Event()
+
+        async def handler(reader, writer):
+            buffered = BufferedFrameReader(reader)
+            while True:
+                batch = await buffered.read_batch()
+                if batch is None:
+                    break
+                received.extend(batch)
+            writer.close()
+            done.set()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        _, writer = await asyncio.open_connection("127.0.0.1", port)
+        for payload in (b"a", b"bb", b"ccc"):
+            await write_frame(writer, payload)
+        writer.close()
+        await writer.wait_closed()
+        await asyncio.wait_for(done.wait(), timeout=5)
+        server.close()
+        await server.wait_closed()
+        assert received == [b"a", b"bb", b"ccc"]
+
+    _run(go())

@@ -20,7 +20,7 @@ class FakeTransport:
         self.protocol = protocol
 
 
-def _env(pid=0, n=4, crash_count=0, epoch=None):
+def _env(pid=0, n=4, crash_count=0, epoch=None, mono_anchor=None):
     return LiveEnv(
         pid=pid,
         n=n,
@@ -28,6 +28,7 @@ def _env(pid=0, n=4, crash_count=0, epoch=None):
         transport=FakeTransport(),
         epoch=time.time() if epoch is None else epoch,
         crash_count=crash_count,
+        mono_anchor=mono_anchor,
     )
 
 
@@ -114,3 +115,29 @@ def test_trace_roundtrip_through_merge(tmp_path):
     ]
     # Tuples survive the codec round trip (the oracles depend on it).
     assert merged.events(EventKind.OUTPUT)[0].get("value") == ("done", 3, 12)
+
+
+class TestMonotonicAnchor:
+    def test_explicit_anchor_defines_env_time(self):
+        env = _env(epoch=time.time(), mono_anchor=time.monotonic() - 5.0)
+        assert 4.9 < env.now < 5.2
+
+    def test_now_never_consults_the_wall_clock(self, monkeypatch):
+        """Regression for the negative-latency bug: after construction,
+        env-time must be immune to wall-clock steps (NTP, VM resume)."""
+        env = _env(epoch=time.time())
+        before = env.now
+        monkeypatch.setattr(time, "time", lambda: 0.0)   # step to 1970
+        after = env.now
+        assert after >= before
+        assert after - before < 1.0
+
+    def test_env_time_is_monotonic(self):
+        env = _env(epoch=time.time())
+        samples = [env.now for _ in range(100)]
+        assert samples == sorted(samples)
+        assert all(s >= 0.0 for s in samples)
+
+    def test_default_anchor_matches_epoch_offset(self):
+        env = _env(epoch=time.time() - 3.0)
+        assert 2.9 < env.now < 3.3

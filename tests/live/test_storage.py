@@ -179,3 +179,62 @@ def test_log_token_dedupes_by_key_across_reloads(path):
     reborn = FileStableStorage(0, path)
     assert reborn.log_token(token, dedupe_key=(1, 2)) is False
     assert reborn.tokens == [token]
+
+
+def test_lazy_provider_snapshots_once_per_file_write(path):
+    """mark_lazy_dirty is O(1): the provider runs at persist time, not
+    per mutation, so a burst inside the window costs one snapshot."""
+    import asyncio
+
+    calls = []
+
+    storage = FileStableStorage(0, path, flush_window=0.05)
+
+    def provider():
+        calls.append(1)
+        return {"image": len(calls)}
+
+    storage.register_lazy_provider("outbox", provider)
+    baseline = len(calls)
+
+    async def go():
+        storage.mark_lazy_dirty()
+        storage.mark_lazy_dirty()
+        storage.mark_lazy_dirty()
+        snapshots_before_flush = len(calls) - baseline
+        await asyncio.sleep(0.15)
+        return snapshots_before_flush
+
+    snapshots_before_flush = asyncio.run(go())
+    assert snapshots_before_flush == 0
+    assert len(calls) - baseline == 1
+    assert storage.lazy_writes == 3
+
+
+def test_lazy_provider_value_visible_through_get(path):
+    storage = FileStableStorage(0, path)
+    storage.register_lazy_provider("outbox", lambda: {"n": 7})
+    assert storage.get("outbox") == {"n": 7}
+
+
+def test_lazy_provider_image_survives_reload(path):
+    storage = FileStableStorage(0, path)
+    state = {"n": 1}
+    storage.register_lazy_provider("outbox", lambda: dict(state))
+    state["n"] = 2
+    storage.mark_lazy_dirty()   # window 0: persists immediately
+
+    reloaded = FileStableStorage(0, path)
+    assert reloaded.get("outbox") == {"n": 2}
+
+
+def test_sync_barrier_materialises_pending_provider_state(path):
+    storage = FileStableStorage(0, path, flush_window=10.0)
+    state = {"n": 1}
+    storage.register_lazy_provider("outbox", lambda: dict(state))
+    state["n"] = 5
+    storage.mark_lazy_dirty()   # parked in the window
+    storage.sync()
+
+    reloaded = FileStableStorage(0, path)
+    assert reloaded.get("outbox") == {"n": 5}

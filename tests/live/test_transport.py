@@ -243,3 +243,67 @@ def test_outbox_and_seq_persist_in_one_image(tmp_path):
     )
     assert [seq for seq, _ in reborn._outbox[1]] == [1, 2]
     assert reborn._next_seq[1] == 3
+
+
+def test_burst_is_delivered_in_order_and_fully_acked():
+    """A batch of frames arriving in one read must produce exactly one
+    cumulative ack that drains the sender's whole outbox."""
+
+    async def go():
+        ports = _free_ports(2)
+        a = MeshTransport(0, 2, ports)
+        b = MeshTransport(1, 2, ports)
+        ca, cb = Collector(), Collector()
+        a.attach(ca)
+        b.attach(cb)
+        await a.start()
+        await b.start()
+        try:
+            for i in range(80):
+                a.send(1, _msg(i + 1, 0, 1, f"m{i}"))
+            await _wait_until(lambda: len(cb.received) == 80)
+            assert [m.payload for m in cb.received] == [
+                f"m{i}" for i in range(80)
+            ]
+            await _wait_until(lambda: a.unacked == 0)
+        finally:
+            await a.stop()
+            await b.stop()
+
+    asyncio.run(go())
+
+
+def test_lazy_provider_keeps_outbox_durable(tmp_path):
+    """The provider-backed outbox image must be materialised into the
+    durable file even though sends only mark the storage dirty."""
+
+    async def go():
+        ports = _free_ports(2)
+        path = os.path.join(tmp_path, "stable_p0.pickle")
+        storage = FileStableStorage(0, path)
+        a = MeshTransport(0, 2, ports, storage=storage)
+        a.attach(Collector())
+        await a.start()
+        try:
+            a.send(1, _msg(1, 0, 1, "unacked"))   # peer never comes up
+            await asyncio.sleep(0.05)
+        finally:
+            await a.stop()
+        storage.sync()
+
+        reloaded = FileStableStorage(0, path)
+        b = MeshTransport(1, 2, ports)
+        cb = Collector()
+        b.attach(cb)
+        a2 = MeshTransport(0, 2, ports, storage=reloaded)
+        a2.attach(Collector())
+        await b.start()
+        await a2.start()
+        try:
+            await _wait_until(lambda: len(cb.received) == 1)
+            assert cb.received[0].payload == "unacked"
+        finally:
+            await a2.stop()
+            await b.stop()
+
+    asyncio.run(go())

@@ -395,6 +395,33 @@ def cmd_live(args: argparse.Namespace) -> int:
     return 0 if verdict.ok else 1
 
 
+def cmd_rollback(args: argparse.Namespace) -> int:
+    """Operator rollback of a stopped live cluster's stable storage."""
+    from repro.live.rollback import RollbackError, describe, rollback_cluster
+
+    try:
+        outcome = rollback_cluster(
+            args.data_dir,
+            args.n,
+            at=args.at,
+            earliest=args.earliest,
+            reason=args.reason,
+            witness=args.witness,
+            dry_run=args.dry_run,
+            pids=args.pids,
+        )
+    except RollbackError as exc:
+        print(f"rollback refused: {exc}")
+        return 1
+    for pid in sorted(outcome["reports"]):
+        print(describe(outcome["reports"][pid]))
+    if args.dry_run:
+        print("dry run: no image was modified")
+    else:
+        print(f"audit: {outcome['audit_path']}")
+    return 0
+
+
 def cmd_live_bench(args: argparse.Namespace) -> int:
     """Live throughput/latency benchmark; emit BENCH_live.json."""
     import tempfile
@@ -658,6 +685,31 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--workdir", default=None,
                       help="keep run artifacts here (default: temp dir)")
     live.set_defaults(func=cmd_live)
+
+    rollback = sub.add_parser(
+        "rollback",
+        help="operator rollback of a stopped cluster to a checkpoint "
+             "frontier (orphans preserved, witnessed audit record)",
+    )
+    rollback.add_argument("--data-dir", required=True,
+                          help="the cluster's stable-storage directory")
+    rollback.add_argument("-n", type=int, required=True,
+                          help="cluster size (stable_p0..p{n-1})")
+    frontier = rollback.add_mutually_exclusive_group(required=True)
+    frontier.add_argument("--at", type=float, default=None,
+                          help="anchor: latest checkpoint at or before "
+                               "this env-time")
+    frontier.add_argument("--earliest", action="store_true",
+                          help="anchor: the earliest retained checkpoint")
+    rollback.add_argument("--reason", required=True,
+                          help="why (recorded in the audit trail)")
+    rollback.add_argument("--witness", required=True,
+                          help="who approved (recorded in the audit trail)")
+    rollback.add_argument("--dry-run", action="store_true",
+                          help="report the rewind without touching images")
+    rollback.add_argument("--pids", type=int, nargs="+", default=None,
+                          help="only these nodes (default: all)")
+    rollback.set_defaults(func=cmd_rollback)
 
     live_bench = sub.add_parser(
         "live-bench",

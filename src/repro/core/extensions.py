@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.ftvc import ClockEntry
+from repro.storage.intents import CrashPointReached
 
 
 @dataclass
@@ -92,7 +93,16 @@ class StabilityCoordinator:
         frontier = dict(self._cached)
         for protocol in self.protocols:
             if protocol.env.alive:
-                committed, ckpts, entries = protocol.apply_stability(frontier)
+                try:
+                    committed, ckpts, entries = protocol.apply_stability(
+                        frontier
+                    )
+                except CrashPointReached as exc:
+                    # An armed crash point fired inside this process's
+                    # compaction sweep: that process crashes; the sweep
+                    # continues for everyone else.
+                    protocol.env.on_crash_point(exc)
+                    continue
                 self.stats.outputs_committed += committed
                 self.stats.checkpoints_collected += ckpts
                 self.stats.log_entries_collected += entries

@@ -55,6 +55,7 @@ from repro.runtime.app import Application
 from repro.runtime.env import RuntimeEnv
 from repro.runtime.message import NetworkMessage
 from repro.runtime.trace import EventKind
+from repro.storage import intents
 
 
 @dataclass(frozen=True)
@@ -175,7 +176,13 @@ class DamaniGargProcess(BaseRecoveryProcess):
 
     def on_restart(self) -> None:
         """Section 6.2: restore, replay, token, new version, checkpoint."""
+        # Heal any multi-step durable transition the failed incarnation
+        # left in flight before reading the image (no-op when clean).
+        intents.heal(self.storage)
         self.stats.restarts += 1
+        if len(self.storage.checkpoints) == 0:
+            self._fresh_start_after_crash()
+            return
         ckpt = self.storage.checkpoints.latest()
         if self.trace is not None:
             self.trace.record(
@@ -218,6 +225,14 @@ class DamaniGargProcess(BaseRecoveryProcess):
             timestamp=restored_ts,
             full_clock=self.clock if self.config.retransmit_on_token else None,
         )
+        # Token log + restart checkpoint are two durable steps: a crash
+        # between them is healed by aborting (on_restart re-derives the
+        # same token and the (origin, version) dedupe absorbs the relog).
+        intent = self.storage.begin_intent(
+            intents.RESTART,
+            token=(token.origin, token.version, token.timestamp),
+        )
+        self.storage.advance_intent(intent, "token_logged")
         self.storage.log_token(
             token, dedupe_key=(token.origin, token.version)
         )
@@ -259,6 +274,9 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 restored_ts=restored_ts,
                 replayed=replayed,
             )
+        # Memory-only commit: the restart checkpoint's writes persist the
+        # intent-free image, making the transition durably committed.
+        self.storage.commit_intent(intent)
         self.take_checkpoint()
         # Tokens are logged synchronously precisely so a failure cannot
         # forget them; re-apply every logged token to the restored history
@@ -266,7 +284,62 @@ class DamaniGargProcess(BaseRecoveryProcess):
         # if the restored suffix is an orphan of some other failure).
         for logged in self.storage.tokens:
             self._apply_token(logged)
+        self._represent_recovered_entries()
         self._sample_obs_gauges()
+
+    def _fresh_start_after_crash(self) -> None:
+        """Boot again when the failed incarnation left *nothing* durable.
+
+        Only reachable via a crash point armed inside the initial
+        checkpoint transition: ``on_start`` is synchronous, so no
+        delivery can interleave between bootstrap and checkpoint 0, and
+        the lost interval is exactly the deterministic bootstrap.
+        Nothing unreconstructible was lost -- reset the volatile
+        protocol state and run ``on_start`` again.  The re-sent
+        bootstrap messages carry the original dedup ids (the sequence
+        restarts at zero), so receivers that consumed the first copies
+        absorb the duplicates, and no token is needed.
+        """
+        self.clock = FaultTolerantVectorClock.initial(self.pid, self.n)
+        self.history = History(self.pid, self.n)
+        self._send_seq = 0
+        self._stable_own = self.clock[self.pid]
+        self.clock_by_uid = {self.executor.current_uid: self.clock}
+        if self.trace is not None:
+            self.trace.record(
+                self.env.now,
+                EventKind.CUSTOM,
+                self.pid,
+                what="fresh_start",
+            )
+        self.on_start()
+
+    def _represent_recovered_entries(self) -> None:
+        """Hand back log entries preserved by a healed mid-crash rollback.
+
+        The startup crawler never deletes what a rolled-forward rollback
+        truncates: the entries wait under ``RECOVERED_ENTRIES_KEY`` and
+        are re-presented here as ordinary network messages.  Delivery
+        dedup absorbs any the anchor state already consumed; orphans are
+        discarded by the usual obsolete-test.  The key is emptied first
+        so a crash mid-re-presentation equals ordinary volatile loss
+        (Remark 1 retransmission recovers anything that mattered).
+        """
+        pending = self.storage.get(intents.RECOVERED_ENTRIES_KEY)
+        if not pending:
+            return
+        self.storage.put(intents.RECOVERED_ENTRIES_KEY, [])
+        for entry in pending:
+            clock, dedup_id = entry.meta[0], entry.meta[1]
+            self._receive_app(
+                _ReplayedNetworkMessage(
+                    msg_id=entry.msg_id,
+                    src=entry.src,
+                    payload=self._rebuild_envelope(
+                        entry.payload, clock, dedup_id
+                    ),
+                )
+            )
 
     def _sample_obs_gauges(self) -> None:
         """Per-process gauge samples (history memory, postponed queue).
@@ -563,8 +636,6 @@ class DamaniGargProcess(BaseRecoveryProcess):
         point) so the caller can re-present the still-valid ones to the
         receive path once the token record is installed.
         """
-        # A non-failed process loses nothing: log everything first.
-        self.flush_log()
         own_before = self.clock[self.pid]
         ckpt = self.storage.checkpoints.latest_satisfying(
             lambda c: c.extras["history"].survives_token(token)
@@ -577,6 +648,45 @@ class DamaniGargProcess(BaseRecoveryProcess):
             raise RuntimeError(
                 f"P{self.pid}: no non-orphan checkpoint for {token!r}"
             )
+        position = ckpt.log_position
+        # Pre-compute the complete transition so the write-ahead intent
+        # names the full target state before any durable step runs -- a
+        # crash anywhere inside the rollback then rolls *forward* to the
+        # same image.  The orphan boundary scans stable+volatile in
+        # receive order (the flush below moves the volatile suffix
+        # without reordering, so this equals the post-flush stable scan),
+        # and the restored own-entry mirrors the post-rollback clock
+        # rule: each entry's meta[3] is the receiver clock right after
+        # its delivery, so the last replayed entry's own-component plus
+        # the rollback tick is exactly what _set_stable_own will persist.
+        boundary = position
+        for entry in self.storage.log.all_entries(position):
+            e = entry.meta[0][token.origin]
+            if e.version == token.version and e.timestamp > token.timestamp:
+                break   # first orphan message: stop before it
+            boundary += 1
+        if boundary > position:
+            replayed_own = self.storage.log.entry(boundary - 1).meta[3][self.pid]
+        else:
+            replayed_own = ckpt.extras["clock"][self.pid]
+        if replayed_own.version == own_before.version:
+            stable_own_after = ClockEntry(
+                replayed_own.version, replayed_own.timestamp + 1
+            )
+        else:
+            stable_own_after = ClockEntry(
+                own_before.version, own_before.timestamp + 1
+            )
+        intent = self.storage.begin_intent(
+            intents.ROLLBACK,
+            token=(token.origin, token.version, token.timestamp),
+            anchor_ckpt_id=ckpt.ckpt_id,
+            truncate_at=boundary,
+            stable_own=stable_own_after,
+        )
+        # A non-failed process loses nothing: log everything first.
+        self.storage.advance_intent(intent, "log_flushed")
+        self.flush_log()
         if self.trace is not None:
             self.trace.record(
                 self.env.now,
@@ -587,21 +697,17 @@ class DamaniGargProcess(BaseRecoveryProcess):
             )
         with self.obs.span("dg.rollback_wall_s"):
             self._restore_checkpoint(ckpt)
+            self.storage.advance_intent(intent, "checkpoints_discarded")
             self.storage.checkpoints.discard_after(ckpt)
-            position = ckpt.log_position
             replayed = 0
             for entry in self.storage.log.stable_entries(position):
-                clock = entry.meta[0]
-                e = clock[token.origin]
-                if (
-                    e.version == token.version
-                    and e.timestamp > token.timestamp
-                ):
-                    break   # first orphan message: stop before it
+                if entry.index >= boundary:
+                    break
                 self._replay_entry(entry)
                 replayed += 1
-        leftovers = list(self.storage.log.stable_entries(position + replayed))
-        discarded = self.storage.log.truncate(position + replayed)
+        leftovers = list(self.storage.log.stable_entries(boundary))
+        self.storage.advance_intent(intent, "log_truncated")
+        discarded = self.storage.log.truncate(boundary)
         if self.clock[self.pid].version == own_before.version:
             # Figure 4's rollback rule: bump the timestamp, keep the version.
             self.clock = self.clock.tick(self.pid)
@@ -620,6 +726,9 @@ class DamaniGargProcess(BaseRecoveryProcess):
             self.clock = FaultTolerantVectorClock(entries)
         restored_uid = self.executor.new_recovery_state()
         self.clock_by_uid[self.executor.current_uid] = self.clock
+        # Memory-only commit: the stable_own write below persists the
+        # intent-free image, making the rollback durably committed.
+        self.storage.commit_intent(intent)
         # The rollback began with a full flush, so the post-rollback own
         # entry is stable-reconstructible; persist it (the rollback may
         # be about to discard the only checkpoints recording our version).
@@ -730,7 +839,14 @@ class DamaniGargProcess(BaseRecoveryProcess):
     # Section 6.5 extensions: output commit and garbage collection
     # ------------------------------------------------------------------
     def flush_log(self) -> int:
+        # Log flush + stable_own write are two durable steps (the paper
+        # keeps the durable clock frontier in lockstep with the stable
+        # log); the intent is a no-op when an outer transition
+        # (checkpoint, rollback) already covers the pair.
+        intent = self.storage.begin_intent(intents.FLUSH)
+        self.storage.advance_intent(intent, "log_flushed")
         moved = super().flush_log()
+        self.storage.commit_intent(intent)
         # Everything delivered so far is now reconstructible from stable
         # storage; our own-entry becomes part of the global stable frontier.
         self._set_stable_own(self.clock[self.pid])
@@ -873,11 +989,21 @@ class DamaniGargProcess(BaseRecoveryProcess):
                 ):
                     anchor = ckpt
             if anchor is not None:
+                # Checkpoint GC + log-prefix discard are two durable
+                # steps; both are idempotent given the anchor, so a
+                # crash between them is healed by rolling forward.
+                intent = self.storage.begin_intent(
+                    intents.COMPACTION,
+                    anchor_ckpt_id=anchor.ckpt_id,
+                    anchor_position=anchor.log_position,
+                )
+                self.storage.advance_intent(intent, "checkpoints_collected")
                 ckpts_collected = (
                     self.storage.checkpoints.garbage_collect_before(
                         anchor.ckpt_id
                     )
                 )
+                self.storage.commit_intent(intent)
                 entries_collected = self.storage.log.discard_prefix(
                     anchor.log_position
                 )

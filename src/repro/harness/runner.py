@@ -19,7 +19,12 @@ from repro.protocols.base import (
     ProtocolConfig,
     ProtocolStats,
 )
-from repro.sim.failures import CrashPlan, FailureInjector, PartitionPlan
+from repro.sim.failures import (
+    CrashPlan,
+    CrashPointEvent,
+    FailureInjector,
+    PartitionPlan,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.network import (
     DeliveryOrder,
@@ -56,6 +61,9 @@ class ExperimentSpec:
     config: ProtocolConfig = field(default_factory=ProtocolConfig)
     crashes: CrashPlan | None = None
     partitions: PartitionPlan | None = None
+    # Named stable-storage crash points to arm (fault injection for the
+    # write-ahead-intent crash windows; see repro.storage.intents).
+    crash_points: tuple[CrashPointEvent, ...] = ()
     # Record application states per state uid (needed by the predicate
     # detection utilities).
     record_states: bool = False
@@ -143,7 +151,9 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         )
         coordinator.start()
     injector = FailureInjector(sim, hosts, network)
-    injector.install(spec.crashes, spec.partitions)
+    injector.install(
+        spec.crashes, spec.partitions, crash_points=spec.crash_points
+    )
     for host in hosts:
         host.start()
     obs = spec.tracer if spec.tracer is not None else NULL_TRACER

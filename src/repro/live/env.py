@@ -71,10 +71,14 @@ def merge_traces(paths: list[str]) -> SimTrace:
                 line = line.strip()
                 if not line:
                     continue
-                rows.append(
-                    (json.loads(line)["t"], file_index, line_index,
-                     json.loads(line))
-                )
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    # A SIGKILLed incarnation can leave a truncated final
+                    # line; the event was never durably observed, so
+                    # dropping it loses nothing the oracles rely on.
+                    continue
+                rows.append((row["t"], file_index, line_index, row))
     rows.sort(key=lambda r: (r[0], r[1], r[2]))
     trace = SimTrace()
     for _, _, _, row in rows:

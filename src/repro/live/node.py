@@ -42,6 +42,7 @@ import asyncio
 import dataclasses
 import json
 import os
+import signal
 import sys
 import time
 from typing import Any
@@ -53,6 +54,7 @@ from repro.live.env import LiveEnv, LiveTrace
 from repro.live.storage import FileStableStorage
 from repro.live.transport import MeshTransport
 from repro.protocols.base import ProtocolConfig
+from repro.storage.intents import heal
 
 _BOOTS_KEY = "node_boots"
 
@@ -101,8 +103,21 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         os.path.join(cfg["data_dir"], f"stable_p{pid}.pickle"),
         flush_window=float(cfg.get("storage_flush_window", 0.0)),
     )
+    # Startup recovery crawler: repair any multi-step durable transition
+    # the killed incarnation left in flight, before anything (the boot
+    # counter, the transport outbox) reads the image.
+    heal_actions = heal(storage)
     boot = storage.get(_BOOTS_KEY, 0) + 1
     storage.put(_BOOTS_KEY, boot)
+    # Crash-window fault injection: "<kind>:<step>" from the config arms
+    # a one-shot SIGKILL that fires right after the persist that leaves
+    # exactly that partial image on disk.  Armed after the heal so the
+    # crawler's own writes cannot trip it.
+    if cfg.get("crash_point"):
+        storage.arm_crash_point(
+            str(cfg["crash_point"]),
+            action=lambda point: os.kill(os.getpid(), signal.SIGKILL),
+        )
 
     transport = MeshTransport(
         pid,
@@ -196,7 +211,14 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         "storage_window_flushes": storage.window_flushes,
         "storage_lazy_writes": storage.lazy_writes,
         "storage_sync_writes": storage.sync_writes,
+        "storage_dir_fsyncs": storage.dir_fsyncs,
         "token_log_dedups": storage.token_log_dedups,
+        "heal_actions": heal_actions,
+        "intents": {
+            "begun": storage.intents_begun,
+            "committed": storage.intents_committed,
+            "aborted": storage.intents_aborted,
+        },
         "trace_records": trace.records_written,
     }
     if source is not None:

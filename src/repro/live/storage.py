@@ -44,7 +44,12 @@ from repro.storage.stable import StableStorage
 
 # Version 2: the transport outbox holds NetworkMessage objects (encoded
 # per connection at pump time), not pre-encoded JSON bytes.
-_FORMAT_VERSION = 2
+# Version 3: write-ahead intent journal (active record, audit tail, id
+# counter) plus the observability counters that used to reset across
+# restarts (lazy_writes, window_flushes, token_log_dedups).  Version-2
+# images load fine: the new keys default.
+_FORMAT_VERSION = 3
+_ACCEPTED_VERSIONS = (2, 3)
 
 
 class _NotifyingCheckpointStore(CheckpointStore):
@@ -104,6 +109,11 @@ class _NotifyingMessageLog(MessageLog):
 class FileStableStorage(StableStorage):
     """Stable storage persisted to ``path``; reloads itself on restart."""
 
+    # Armed crash points fire from _persist, right after the atomic file
+    # write, so the on-disk image at death is exactly the partial state
+    # the point names (including the live-only ":committed" variants).
+    _fires_on_persist = True
+
     def __init__(
         self, pid: int, path: str, *, flush_window: float = 0.0
     ) -> None:
@@ -112,6 +122,7 @@ class FileStableStorage(StableStorage):
         self.flush_window = flush_window
         self.persist_count = 0          # fsync'd file writes
         self.window_flushes = 0         # persists triggered by the timer
+        self.dir_fsyncs = 0             # directory fsyncs after os.replace
         self._dirty = False
         self._flush_handle: asyncio.TimerHandle | None = None
         self._loading = True
@@ -218,28 +229,92 @@ class FileStableStorage(StableStorage):
             "token_keys": self._token_keys,
             "kv": self._kv,
             "sync_writes": self.sync_writes,
+            "lazy_writes": self.lazy_writes,
+            "window_flushes": self.window_flushes,
+            "token_log_dedups": self.token_log_dedups,
+            "intent_active": self._active_intent,
+            "intent_audit": self._intent_audit,
+            "intent_next_id": self._intent_next_id,
         }
 
     def _persist(self) -> None:
         if self._loading:
             return
-        # A barrier hardens everything, pending lazy writes included.
+        # A barrier hardens everything, pending lazy writes included --
+        # but only claim the pending window once the write has actually
+        # landed: if pickle/fsync/replace raises (disk full, transient
+        # I/O error) the durable image is still the old one, and marking
+        # the lazy tail clean here would silently drop it forever.
+        was_dirty = self._dirty
         self._dirty = False
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
         tmp = f"{self.path}.tmp"
-        with open(tmp, "wb") as fh:
-            pickle.dump(self._durable_state(), fh, protocol=4)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(self._durable_state(), fh, protocol=4)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except Exception:
+            self._dirty = True
+            if was_dirty:
+                self._reschedule_window()
+            raise
+        self._fsync_dir()
         self.persist_count += 1
+        self._check_crash_point()
+
+    def _reschedule_window(self) -> None:
+        """Re-arm the flush window so a failed persist is retried."""
+        if self.flush_window <= 0 or self._flush_handle is not None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        self._flush_handle = loop.call_later(
+            self.flush_window, self._window_fire
+        )
+
+    def _fsync_dir(self) -> None:
+        """Make the rename itself durable.
+
+        ``os.replace`` swaps the directory entry, but that entry only
+        survives a *host* crash once the directory is fsynced; without
+        this the previous image can resurrect even though persist_count
+        was already bumped.  Platforms that cannot open or fsync a
+        directory (e.g. Windows) are skipped.
+        """
+        dirname = os.path.dirname(self.path) or "."
+        try:
+            dirfd = os.open(dirname, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        except OSError:
+            return
+        try:
+            os.fsync(dirfd)
+            self.dir_fsyncs += 1
+        except OSError:
+            pass
+        finally:
+            os.close(dirfd)
+
+    def _check_crash_point(self) -> None:
+        """Fire an armed crash point matching the image just written."""
+        pending, self._commit_pending = self._commit_pending, None
+        if not self._armed_crash_points:
+            return
+        active = self._active_intent
+        if active is not None:
+            self._fire_crash_point(f"{active.kind}:{active.step}")
+        elif pending is not None:
+            self._fire_crash_point(f"{pending.kind}:committed")
 
     def _load(self) -> None:
         with open(self.path, "rb") as fh:
             state = pickle.load(fh)
-        if state.get("version") != _FORMAT_VERSION:
+        if state.get("version") not in _ACCEPTED_VERSIONS:
             raise RuntimeError(
                 f"stable-storage format {state.get('version')!r} "
                 f"not supported (expected {_FORMAT_VERSION})"
@@ -261,3 +336,9 @@ class FileStableStorage(StableStorage):
         self._token_keys = state["token_keys"]
         self._kv = state["kv"]
         self.sync_writes = state["sync_writes"]
+        self.lazy_writes = state.get("lazy_writes", 0)
+        self.window_flushes = state.get("window_flushes", 0)
+        self.token_log_dedups = state.get("token_log_dedups", 0)
+        self._active_intent = state.get("intent_active")
+        self._intent_audit = state.get("intent_audit", [])
+        self._intent_next_id = state.get("intent_next_id", 0)

@@ -45,6 +45,27 @@ class LiveCrashPlan:
     downtime: float = 1.0
 
 
+@dataclass(frozen=True)
+class LiveCrashPointPlan:
+    """Arm stable-storage crash point ``point`` on process ``pid``.
+
+    The armed incarnation SIGKILLs *itself* the instant the named
+    durable step's persist lands (see :mod:`repro.storage.intents`), so
+    the on-disk image at death is exactly the partial state the point
+    names.  With ``at`` unset the point is armed at first boot; with
+    ``at`` set, an ordinary supervisor SIGKILL is delivered at env-time
+    ``at`` and the *respawned* incarnation boots armed instead -- the
+    only way to reach the restart-transition crash windows.  Either way
+    the supervisor watches for the self-kill, records the CRASH, and
+    respawns a clean (unarmed) node after ``downtime``.
+    """
+
+    pid: int
+    point: str
+    at: float | None = None
+    downtime: float = 1.0
+
+
 @dataclass
 class LiveClusterSpec:
     """One live run: topology, workload, failure plan, pacing."""
@@ -57,6 +78,9 @@ class LiveClusterSpec:
     checkpoint_interval: float = 0.5
     flush_interval: float = 0.15
     crashes: list[LiveCrashPlan] = field(default_factory=list)
+    # Stable-storage crash-window injection (at most one plan per pid):
+    # the armed node SIGKILLs itself when the named durable step lands.
+    crash_points: list[LiveCrashPointPlan] = field(default_factory=list)
     host: str = "127.0.0.1"
     # Application spec passed to every node.  None means the classic
     # closed pipeline workload ({"kind": "pipeline", "jobs": jobs}); the
@@ -102,6 +126,9 @@ class LiveRunResult:
     kills: list[tuple[int, float]]        # (pid, env-time of SIGKILL)
     wall_seconds: float
     exit_codes: dict[int, int]
+    # Crash-point self-kills observed: (pid, point, env-time).  A subset
+    # of ``kills``; empty when the armed window was never reached.
+    point_kills: list[tuple[int, str, float]] = field(default_factory=list)
 
     @property
     def total_delivered(self) -> int:
@@ -186,7 +213,14 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
     if os.path.exists(epoch_path):
         os.remove(epoch_path)   # stale epoch from a previous run
 
+    point_plans: dict[int, LiveCrashPointPlan] = {}
+    for plan in spec.crash_points:
+        if plan.pid in point_plans:
+            raise ValueError(f"multiple crash-point plans for pid {plan.pid}")
+        point_plans[plan.pid] = plan
+
     config_paths, trace_paths, done_paths, log_paths = [], [], [], []
+    armed_config_paths: dict[int, str] = {}
     for pid in range(spec.n):
         cfg = {
             "pid": pid,
@@ -213,13 +247,33 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(cfg, fh, indent=2)
         config_paths.append(path)
+        if pid in point_plans:
+            # The armed variant is a separate file so the clean config is
+            # always available for the post-self-kill respawn: the point
+            # must fire exactly once per plan, never on the recovery boot.
+            armed = dict(cfg, crash_point=point_plans[pid].point)
+            armed_path = os.path.join(workdir, f"config_p{pid}_armed.json")
+            with open(armed_path, "w", encoding="utf-8") as fh:
+                json.dump(armed, fh, indent=2)
+            armed_config_paths[pid] = armed_path
         trace_paths.append(cfg["trace_path"])
         done_paths.append(cfg["done_path"])
         log_paths.append(os.path.join(workdir, f"node_p{pid}.log"))
 
     start_wall = time.time()
+    # Plans with ``at=None`` boot armed; ``at``-based plans boot clean and
+    # are re-armed on the respawn after the scheduled SIGKILL (the only
+    # way to land inside a restart-transition window).  Arming is safe
+    # before the epoch barrier: crash points fire only on persists made
+    # inside an intent-carrying transition, and the first of those is
+    # checkpoint 0, strictly after the epoch wait.
     procs = {
-        pid: _spawn(config_paths[pid], log_paths[pid])
+        pid: _spawn(
+            armed_config_paths[pid]
+            if pid in point_plans and point_plans[pid].at is None
+            else config_paths[pid],
+            log_paths[pid],
+        )
         for pid in range(spec.n)
     }
 
@@ -242,37 +296,104 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
         return time.monotonic() - epoch_mono
 
     # Supervisor-side trace: the CRASH events (a SIGKILLed process cannot
-    # record its own death).
+    # record its own death, and an armed node that SIGKILLs *itself*
+    # cannot either -- the supervisor observes the -SIGKILL exit and
+    # records it here).
     sup_trace_path = os.path.join(workdir, "trace_supervisor.jsonl")
     kills: list[tuple[int, float]] = []
+    point_kills: list[tuple[int, str, float]] = []
     crash_counts: dict[int, int] = {}
     with open(sup_trace_path, "w", encoding="utf-8") as sup_trace:
-        for crash in sorted(spec.crashes, key=lambda c: c.at):
-            time.sleep(max(0.0, crash.at - env_now()))
-            victim = procs[crash.pid]
-            victim.kill()   # SIGKILL
-            victim.wait()
-            kill_time = env_now()
-            kills.append((crash.pid, kill_time))
-            crash_counts[crash.pid] = crash_counts.get(crash.pid, 0) + 1
+
+        def record_crash(pid: int, kill_time: float) -> None:
+            crash_counts[pid] = crash_counts.get(pid, 0) + 1
             sup_trace.write(
                 json.dumps(
                     {
                         "t": kill_time,
                         "kind": EventKind.CRASH.value,
-                        "pid": crash.pid,
-                        "fields": {"count": crash_counts[crash.pid]},
+                        "pid": pid,
+                        "fields": {"count": crash_counts[pid]},
                     }
                 )
                 + "\n"
             )
             sup_trace.flush()
-            time.sleep(
-                max(0.0, crash.at + crash.downtime - env_now())
-            )
-            procs[crash.pid] = _spawn(
-                config_paths[crash.pid], log_paths[crash.pid]
-            )
+
+        # One loop drives both failure modes: scheduled SIGKILLs fire at
+        # their planned env-times while armed nodes are concurrently
+        # watched for self-kills (a boot-armed point can fire during any
+        # sleep, so a purely sequential schedule would sit on its corpse
+        # for the rest of the run).
+        schedule: list[tuple[str, float, Any]] = sorted(
+            [("kill", c.at, c) for c in spec.crashes]
+            + [
+                ("arm", p.at, p)
+                for p in spec.crash_points
+                if p.at is not None
+            ],
+            key=lambda item: item[1],
+        )
+        watching: dict[int, LiveCrashPointPlan] = {
+            p.pid: p for p in spec.crash_points if p.at is None
+        }
+        respawns: dict[int, tuple[float, str]] = {}   # pid -> (when, config)
+        watch_until = spec.run_seconds + spec.linger
+        while schedule or watching or respawns:
+            now = env_now()
+            if now > watch_until:
+                # The run is over; unfired points stay unfired (recorded
+                # as an empty point_kills entry set), but every pending
+                # respawn still happens so the final wait sees live
+                # processes, not supervisor-orphaned corpses.
+                schedule.clear()
+                watching.clear()
+                for pid, (_, cfg_path) in respawns.items():
+                    procs[pid] = _spawn(cfg_path, log_paths[pid])
+                respawns.clear()
+                break
+            for pid in [p for p, (due, _) in respawns.items() if due <= now]:
+                _, cfg_path = respawns.pop(pid)
+                procs[pid] = _spawn(cfg_path, log_paths[pid])
+            while schedule and schedule[0][1] <= now:
+                mode, _, plan = schedule.pop(0)
+                victim = procs[plan.pid]
+                victim.kill()   # SIGKILL
+                victim.wait()
+                kill_time = env_now()
+                kills.append((plan.pid, kill_time))
+                record_crash(plan.pid, kill_time)
+                if mode == "arm":
+                    # Respawn armed; the self-kill watcher takes over
+                    # once the armed incarnation is actually running.
+                    respawns[plan.pid] = (
+                        kill_time + plan.downtime,
+                        armed_config_paths[plan.pid],
+                    )
+                    watching[plan.pid] = plan
+                else:
+                    respawns[plan.pid] = (
+                        kill_time + plan.downtime,
+                        config_paths[plan.pid],
+                    )
+            for pid in list(watching):
+                if pid in respawns:
+                    continue   # armed incarnation not spawned yet
+                code = procs[pid].poll()
+                if code is None:
+                    continue
+                plan = watching.pop(pid)
+                if code == -signal.SIGKILL:
+                    kill_time = env_now()
+                    kills.append((pid, kill_time))
+                    point_kills.append((pid, plan.point, kill_time))
+                    record_crash(pid, kill_time)
+                    respawns[pid] = (
+                        kill_time + plan.downtime, config_paths[pid]
+                    )
+                # Any other exit: the node finished without reaching the
+                # window; nothing to heal, nothing to respawn.
+            time.sleep(0.02)
 
     # Wait for the nodes to finish (they self-terminate at the deadline).
     hard_stop = spec.run_seconds + spec.linger + 10.0
@@ -304,4 +425,5 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
         kills=kills,
         wall_seconds=wall_seconds,
         exit_codes=exit_codes,
+        point_kills=point_kills,
     )

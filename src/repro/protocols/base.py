@@ -39,6 +39,7 @@ from repro.runtime.app import (
 from repro.runtime.env import RuntimeEnv, TimerHandle
 from repro.runtime.message import NetworkMessage
 from repro.runtime.trace import EventKind, SimTrace
+from repro.storage import intents
 
 
 @dataclass
@@ -220,11 +221,18 @@ class BaseRecoveryProcess(abc.ABC):
     # Periodic activities
     # ------------------------------------------------------------------
     def start_periodic_tasks(self) -> None:
-        """Kick off checkpointing and log flushing.  Call from on_start."""
+        """Kick off checkpointing and log flushing.  Call from on_start.
+
+        Chains that are already running are left alone, so a restart path
+        that fell back to ``on_start`` (nothing durable to restore) can be
+        followed by an unconditional call without doubling the timers.
+        """
         self._periodic_enabled = True
-        self._schedule_checkpoint()
-        self._schedule_flush()
-        if self.config.gossip_stability:
+        if self._ckpt_handle is None:
+            self._schedule_checkpoint()
+        if self._flush_handle is None:
+            self._schedule_flush()
+        if self.config.gossip_stability and self._gossip_handle is None:
             self._schedule_gossip()
 
     def halt_periodic_tasks(self) -> None:
@@ -299,6 +307,22 @@ class BaseRecoveryProcess(abc.ABC):
                 self._periodic_gossip,
                 label=f"gossip:{self.pid}",
             )
+        # A crash *inside* a periodic callback (an armed crash point
+        # firing mid-checkpoint/flush) lands after the callback nulled
+        # its handle and before it rescheduled, so there was no timer to
+        # pause -- restart such a chain from scratch or it is dead for
+        # the rest of the run.  Ordinary crashes land between events and
+        # never hit this.
+        if paused_ckpt is None and self._ckpt_handle is None:
+            self._schedule_checkpoint()
+        if paused_flush is None and self._flush_handle is None:
+            self._schedule_flush()
+        if (
+            self.config.gossip_stability
+            and paused_gossip is None
+            and self._gossip_handle is None
+        ):
+            self._schedule_gossip()
 
     def _schedule_checkpoint(self) -> None:
         self._ckpt_handle = self.env.schedule_after(
@@ -371,9 +395,19 @@ class BaseRecoveryProcess(abc.ABC):
 
         Subclasses override to add protocol state (clock, history, ...) via
         :meth:`checkpoint_extras`.
+
+        The flush and the checkpoint write are two durable steps, so the
+        transition carries a write-ahead intent: a crash between them
+        leaves a flushed-but-uncheckpointed image that the startup
+        crawler rolls back (an early flush is harmless on its own).
         """
         self._deliveries_since_checkpoint = 0
+        intent = self.storage.begin_intent(intents.CHECKPOINT)
+        self.storage.advance_intent(intent, "log_flushed")
         self.flush_log()
+        # Memory-only commit: the checkpoint write below persists the
+        # intent-free image, which is what makes "committed" durable.
+        self.storage.commit_intent(intent)
         with self.obs.span("proto.checkpoint_wall_s"):
             ckpt = self.storage.checkpoints.take(
                 self.env.now,

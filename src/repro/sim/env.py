@@ -14,6 +14,7 @@ from typing import Any, Callable
 
 from repro.runtime.env import RuntimeEnv, TimerHandle
 from repro.runtime.message import NetworkMessage
+from repro.storage.intents import CrashPointReached
 from repro.storage.stable import StableStorage
 
 
@@ -78,6 +79,27 @@ class SimEnv(RuntimeEnv):
         )
 
     # ------------------------------------------------------------------
+    # Crash points (fault injection)
+    # ------------------------------------------------------------------
+    def on_crash_point(self, exc: CrashPointReached) -> None:
+        """Convert an armed crash point into a crash + scheduled restart."""
+        self.host.on_crash_point(exc)
+
+    def _guard(self, callback: Callable[[], None]) -> Callable[[], None]:
+        """Wrap a timer callback so a crash point raised inside it (a
+        periodic checkpoint/flush hitting an armed point) crashes the
+        process instead of unwinding the kernel."""
+        host = self.host
+
+        def run() -> None:
+            try:
+                callback()
+            except CrashPointReached as exc:
+                host.on_crash_point(exc)
+
+        return run
+
+    # ------------------------------------------------------------------
     # Timers
     # ------------------------------------------------------------------
     def schedule_after(
@@ -89,7 +111,7 @@ class SimEnv(RuntimeEnv):
         label: str = "",
     ) -> TimerHandle:
         return self.sim.schedule(
-            delay, callback, priority=priority, label=label
+            delay, self._guard(callback), priority=priority, label=label
         )
 
     def schedule_at(
@@ -104,7 +126,7 @@ class SimEnv(RuntimeEnv):
         # arithmetic can miss ``when`` by an ulp, which would shift resumed
         # periodic chains off their historical fire times.
         return self.sim.schedule_at(
-            when, callback, priority=priority, label=label
+            when, self._guard(callback), priority=priority, label=label
         )
 
     def suspend_timer(
@@ -139,7 +161,7 @@ class SimEnv(RuntimeEnv):
             return super().resume_timer(
                 handle, interval, callback, label=label
             )
-        return handle._hand_back(callback)
+        return handle._hand_back(self._guard(callback))
 
     # ------------------------------------------------------------------
     # Protocol attachment

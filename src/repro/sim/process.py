@@ -30,6 +30,7 @@ from repro.runtime.app import (          # noqa: F401  (compat re-exports)
 from repro.runtime.trace import EventKind, SimTrace
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network, NetworkMessage
+from repro.storage.intents import CrashPointReached
 
 __all__ = [
     "Application",
@@ -108,7 +109,10 @@ class ProcessHost:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.protocol.on_start()
+        try:
+            self.protocol.on_start()
+        except CrashPointReached as exc:
+            self.on_crash_point(exc)
 
     def crash(self) -> None:
         """Fail the process: volatile state is lost, delivery pauses."""
@@ -144,7 +148,14 @@ class ProcessHost:
             tracer.event(
                 "host.restart", pid=self.pid, buffered=len(self._buffered)
             )
-        self.protocol.on_restart()
+        try:
+            self.protocol.on_restart()
+        except CrashPointReached as exc:
+            # An armed crash point fired mid-restart: the process dies
+            # again with the partial image on "disk"; the rescheduled
+            # restart heals and retries.
+            self.on_crash_point(exc)
+            return
         # Resume the periodic chains paused at crash time, preserving their
         # original phase (fire times are exactly those the pre-pause chain
         # would have used).
@@ -152,8 +163,15 @@ class ProcessHost:
         if resume is not None:
             resume()
         buffered, self._buffered = self._buffered, []
-        for msg in buffered:
-            self.protocol.on_network_message(msg)
+        for i, msg in enumerate(buffered):
+            try:
+                self.protocol.on_network_message(msg)
+            except CrashPointReached as exc:
+                # Undelivered drainees go back to the buffer, ahead of
+                # anything that arrived while handling this message.
+                self._buffered = buffered[i + 1:] + self._buffered
+                self.on_crash_point(exc)
+                return
         if tracer is not None:
             tracer.gauge(f"host.buffered.p{self.pid}", 0)
 
@@ -170,7 +188,32 @@ class ProcessHost:
                     f"host.buffered.p{self.pid}", len(self._buffered)
                 )
             return
-        self.protocol.on_network_message(msg)
+        try:
+            self.protocol.on_network_message(msg)
+        except CrashPointReached as exc:
+            self.on_crash_point(exc)
+
+    def on_crash_point(self, exc: CrashPointReached) -> None:
+        """An armed crash point fired: die here, restart after downtime.
+
+        The protocol raised out of whatever durable step the point
+        names, so its in-memory state is mid-transition -- exactly what
+        crash semantics require: volatile state is discarded by
+        :meth:`crash` and the restart re-derives everything from the
+        (partial) stable image, which the startup crawler heals first.
+        """
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now,
+                EventKind.CUSTOM,
+                self.pid,
+                what="crash_point",
+                point=exc.point,
+            )
+        self.crash()
+        self.sim.schedule(
+            exc.downtime, self.restart, label=f"restart:{self.pid}"
+        )
 
     def send(self, dst: int, payload, *, kind: str = "app",
              latency: float | None = None) -> NetworkMessage:

@@ -18,15 +18,18 @@ from typing import Any
 from repro.core.recovery import DamaniGargProcess
 from repro.harness.runner import ExperimentSpec
 from repro.protocols.base import ProtocolConfig
-from repro.sim.failures import CrashPlan, PartitionPlan
+from repro.sim.failures import CrashPlan, CrashPointEvent, PartitionPlan
 from repro.sim.network import DeliveryOrder
 from repro.sim.rng import derive_seed
+from repro.storage.intents import SIM_CRASH_POINTS
 from repro.stress.profiles import DEFAULT_PROFILE, WORKLOADS, StressProfile
 
 #: (time, pid, downtime)
 CrashTuple = tuple[float, int, float]
 #: (time, groups, heal_time) with groups a tuple of pid tuples
 PartitionTuple = tuple[float, tuple[tuple[int, ...], ...], float]
+#: (pid, "kind:step", downtime) -- see repro.storage.intents
+CrashPointTuple = tuple[int, str, float]
 
 
 @dataclass(frozen=True)
@@ -47,6 +50,11 @@ class StressCase:
     stability_interval: float | None
     crashes: tuple[CrashTuple, ...]
     partitions: tuple[PartitionTuple, ...]
+    # Armed stable-storage crash points (pid, "kind:step", downtime);
+    # generated only for retransmit-enabled cases, mirroring the live
+    # runtime where mid-transition kills rely on Remark-1 retransmission
+    # for completeness.
+    crash_points: tuple[CrashPointTuple, ...] = ()
 
     @property
     def crash_count(self) -> int:
@@ -64,6 +72,8 @@ class StressCase:
             flags.append("retransmit")
         if self.commit_outputs:
             flags.append("commit+gc")
+        if self.crash_points:
+            flags.append(f"points={len(self.crash_points)}")
         return (
             f"seed={self.seed} n={self.n} {self.workload} "
             f"h={self.horizon:.0f} {self.order} "
@@ -105,7 +115,39 @@ def generate_case(
         stability_interval=round(rng.uniform(3.0, 6.0), 3) if extensions else None,
         crashes=_generate_crashes(rng, n, horizon, profile),
         partitions=_generate_partitions(rng, n, horizon, profile),
+        crash_points=_generate_crash_points(seed, n, retransmit, profile),
     )
+
+
+def _generate_crash_points(
+    seed: int, n: int, retransmit: bool, profile: StressProfile
+) -> tuple[CrashPointTuple, ...]:
+    """Arm 1-2 stable-storage crash points on random processes.
+
+    Drawn from a *separately derived* stream so pre-existing seeds keep
+    generating byte-identical schedules (the points are purely
+    additive).  Gated on retransmit: a mid-transition kill can orphan a
+    delivered-but-truncated message, and completeness then relies on
+    Remark-1 retransmission -- exactly the live-runtime configuration.
+    """
+    if not retransmit or profile.crash_point_prob <= 0:
+        return ()
+    rng = random.Random(
+        derive_seed(seed, f"stress/{profile.name}/crash_points")
+    )
+    if rng.random() >= profile.crash_point_prob:
+        return ()
+    count = rng.randint(1, 2)
+    points = []
+    for _ in range(count):
+        points.append(
+            (
+                rng.randrange(n),
+                rng.choice(SIM_CRASH_POINTS),
+                round(rng.uniform(*profile.downtime), 3),
+            )
+        )
+    return tuple(sorted(set(points)))
 
 
 def _generate_crashes(
@@ -192,6 +234,10 @@ def build_spec(case: StressCase) -> ExperimentSpec:
         ),
         crashes=crashes if case.crashes else None,
         partitions=partitions if case.partitions else None,
+        crash_points=tuple(
+            CrashPointEvent(pid, point, downtime)
+            for pid, point, downtime in case.crash_points
+        ),
         stability_interval=case.stability_interval,
     )
 
@@ -234,6 +280,11 @@ def case_from_dict(data: dict[str, Any]) -> StressCase:
             )
             for t, groups, heal in data["partitions"]
         ),
+        # Absent in reproducers recorded before crash points existed.
+        crash_points=tuple(
+            (int(pid), str(point), float(down))
+            for pid, point, down in data.get("crash_points", ())
+        ),
     )
 
 
@@ -242,6 +293,7 @@ def with_events(
     *,
     crashes: tuple[CrashTuple, ...] | None = None,
     partitions: tuple[PartitionTuple, ...] | None = None,
+    crash_points: tuple[CrashPointTuple, ...] | None = None,
 ) -> StressCase:
     """Copy ``case`` with a different failure schedule (shrinker helper)."""
     kwargs: dict[str, Any] = {}
@@ -249,4 +301,6 @@ def with_events(
         kwargs["crashes"] = crashes
     if partitions is not None:
         kwargs["partitions"] = partitions
+    if crash_points is not None:
+        kwargs["crash_points"] = crash_points
     return replace(case, **kwargs)

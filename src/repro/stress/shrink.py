@@ -70,6 +70,7 @@ def shrink_case(
         before = case
         case = _shrink_crashes(case, check)
         case = _shrink_partitions(case, check)
+        case = _shrink_crash_points(case, check)
         case = _shrink_flags(case, check)
         case = _shrink_horizon(case, check)
         if case == before:
@@ -123,6 +124,19 @@ def _shrink_partitions(
     return with_events(case, partitions=kept)
 
 
+def _shrink_crash_points(
+    case: StressCase, check: Callable[[StressCase], bool]
+) -> StressCase:
+    if not case.crash_points:
+        return case
+    kept = _reduce_events(
+        case.crash_points,
+        lambda ev: with_events(case, crash_points=ev),
+        check,
+    )
+    return with_events(case, crash_points=kept)
+
+
 # ---------------------------------------------------------------------------
 # Flag and horizon simplification
 # ---------------------------------------------------------------------------
@@ -133,7 +147,12 @@ def _shrink_flags(
     if case.duplicate_rate:
         candidates.append(replace(case, duplicate_rate=0.0))
     if case.retransmit_on_token:
-        candidates.append(replace(case, retransmit_on_token=False))
+        # Crash points are generated only for retransmit-enabled cases
+        # (completeness after a mid-transition kill relies on Remark-1
+        # retransmission), so dropping the flag must drop them too.
+        candidates.append(
+            replace(case, retransmit_on_token=False, crash_points=())
+        )
     if case.commit_outputs or case.enable_gc:
         candidates.append(
             replace(

@@ -1,0 +1,94 @@
+"""Live crash-window injection harness.
+
+One call = one real cluster run with a stable-storage crash point armed
+on one node (see :mod:`repro.storage.intents` for the point inventory).
+The armed incarnation SIGKILLs itself the instant the named durable step
+lands, the supervisor respawns it clean, and the startup crawler must
+heal the partial image -- all graded by the unchanged live oracles.
+
+Two arming modes, chosen per point:
+
+- **Boot arming** (``at=None``): the point is armed from the node's first
+  boot.  Right for steady-state windows (``flush:*``, ``*:committed``,
+  ``rollback:*``, ``compaction:*``).
+- **Respawn arming** (``at`` set): an ordinary supervisor SIGKILL at
+  ``at`` and the *respawn* boots armed.  Required for ``restart:*`` (the
+  window only exists inside ``on_restart``) and for
+  ``checkpoint:log_flushed`` -- boot-armed it would kill checkpoint 0,
+  and the fresh-start reboot legitimately broadcasts no token, which the
+  live verdict (correctly) refuses to bless as a recovery.
+"""
+
+from __future__ import annotations
+
+from repro.live.supervisor import (
+    LiveClusterSpec,
+    LiveCrashPointPlan,
+    run_cluster,
+)
+from repro.live.verify import check_live_run
+
+#: Points whose window only exists during (or immediately around) a
+#: restart transition: these need respawn arming.
+RESPAWN_ARMED_POINTS = frozenset(
+    {
+        "checkpoint:log_flushed",
+        "restart:token_logged",
+        "restart:committed",
+    }
+)
+
+#: Heal action expected for each point when it fires.  ``None`` means the
+#: image at death is already complete (committed windows) and the crawler
+#: must take no action at all.
+EXPECTED_HEAL = {
+    "checkpoint:log_flushed": "rolled_back",
+    "flush:log_flushed": "rolled_back",
+    "restart:token_logged": "rolled_back",
+    "rollback:log_flushed": "rolled_forward",
+    "rollback:checkpoints_discarded": "rolled_forward",
+    "rollback:log_truncated": "rolled_forward",
+    "compaction:checkpoints_collected": "rolled_forward",
+    "checkpoint:committed": None,
+    "flush:committed": None,
+    "restart:committed": None,
+    "rollback:committed": None,
+    "compaction:committed": None,
+}
+
+
+def plan_for(point: str, pid: int = 1, downtime: float = 0.8):
+    """Build the right :class:`LiveCrashPointPlan` for ``point``."""
+    at = 1.2 if point in RESPAWN_ARMED_POINTS else None
+    return LiveCrashPointPlan(pid=pid, point=point, at=at, downtime=downtime)
+
+
+def run_crash_point(point: str, workdir: str, *, pid: int = 1, **spec_kwargs):
+    """Run one cluster with ``point`` armed on ``pid``; return
+    ``(result, verdict)``."""
+    defaults = dict(n=3, jobs=9, run_seconds=4.5, linger=1.2)
+    defaults.update(spec_kwargs)
+    spec = LiveClusterSpec(
+        crash_points=[plan_for(point, pid=pid)],
+        **defaults,
+    )
+    result = run_cluster(spec, workdir)
+    verdict = check_live_run(result.trace, n=spec.n, jobs=spec.jobs)
+    return result, verdict
+
+
+def assert_healed(result, point: str, pid: int = 1) -> None:
+    """If the point fired, the final incarnation's startup heal must have
+    taken exactly the policy action for that window."""
+    fired = [(p, pt) for p, pt, _ in result.point_kills if p == pid]
+    if not fired:
+        return
+    assert fired == [(pid, point)], fired
+    actions = result.done[pid]["heal_actions"]
+    expected = EXPECTED_HEAL[point]
+    if expected is None:
+        assert actions == [], actions
+    else:
+        kind = point.split(":", 1)[0]
+        assert [a["action"] for a in actions] == [expected], actions
+        assert actions[0]["kind"] == kind, actions

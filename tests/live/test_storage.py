@@ -238,3 +238,97 @@ def test_sync_barrier_materialises_pending_provider_state(path):
 
     reloaded = FileStableStorage(0, path)
     assert reloaded.get("outbox") == {"n": 5}
+
+
+# ---------------------------------------------------------------------------
+# Regression: a failed persist must not silently drop the lazy tail
+# ---------------------------------------------------------------------------
+def _failing_once(storage):
+    """Patch ``storage`` so its next file write raises, then recovers."""
+    original = storage._durable_state
+    calls = {"failed": False}
+
+    def flaky():
+        if not calls["failed"]:
+            calls["failed"] = True
+            raise OSError("disk full")
+        return original()
+
+    storage._durable_state = flaky
+    return calls
+
+
+def test_failed_persist_restores_dirty_flag(path):
+    """Pre-fix, ``_persist`` cleared ``_dirty`` before the write: a
+    transient I/O error dropped the pending lazy tail forever."""
+    storage = FileStableStorage(0, path, flush_window=10.0)
+    _failing_once(storage)
+    with pytest.raises(OSError):
+        storage.put_lazy("lazy", "precious")   # no loop: persists now
+    assert storage.pending_lazy                # still owed to disk
+    storage.sync()                             # retry succeeds
+    assert not storage.pending_lazy
+    assert FileStableStorage(0, path).get("lazy") == "precious"
+
+
+def test_failed_window_persist_reschedules_and_retries(path):
+    """Pre-fix, the window timer was cancelled before the write: a
+    failed window flush left the dirty tail with no timer to retry it."""
+    import asyncio
+
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=0.05)
+        storage.put("seed", 1)
+        _failing_once(storage)
+        storage.put_lazy("lazy", "precious")
+        await asyncio.sleep(0.08)              # window fires; write fails
+        assert storage.pending_lazy
+        assert storage._flush_handle is not None   # rescheduled
+        await asyncio.sleep(0.15)              # retry window fires
+        assert not storage.pending_lazy
+        assert storage.window_flushes == 2
+
+    asyncio.run(go())
+    assert FileStableStorage(0, path).get("lazy") == "precious"
+
+
+# ---------------------------------------------------------------------------
+# Regression: the rename itself must be made durable
+# ---------------------------------------------------------------------------
+def test_persist_fsyncs_the_directory(path):
+    """``os.replace`` swaps the directory entry, but only a directory
+    fsync makes the swap survive a host crash.  Pre-fix there was none."""
+    storage = FileStableStorage(0, path)
+    storage.put("k", 1)
+    assert storage.persist_count == 1
+    assert storage.dir_fsyncs == 1
+    storage.put("k", 2)
+    assert storage.dir_fsyncs == storage.persist_count == 2
+
+
+# ---------------------------------------------------------------------------
+# Regression: observability counters must survive a reload
+# ---------------------------------------------------------------------------
+def test_write_counters_survive_reload(path):
+    """Pre-fix, ``_load`` dropped lazy_writes / window_flushes /
+    token_log_dedups, so every restart zeroed the node's I/O telemetry."""
+    import asyncio
+
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=0.05)
+        storage.put_lazy("lazy", 1)
+        await asyncio.sleep(0.15)              # one window flush
+        token = RecoveryToken(origin=1, version=2, timestamp=7)
+        storage.log_token(token, dedupe_key=(1, 2))
+        storage.log_token(token, dedupe_key=(1, 2))   # deduped, no write
+        storage.put("barrier", 1)   # counters ride the next barrier
+        return storage
+
+    storage = asyncio.run(go())
+    assert (storage.lazy_writes, storage.window_flushes,
+            storage.token_log_dedups) == (1, 1, 1)
+
+    reborn = FileStableStorage(0, path)
+    assert reborn.lazy_writes == 1
+    assert reborn.window_flushes == 1
+    assert reborn.token_log_dedups == 1

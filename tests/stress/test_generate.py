@@ -6,8 +6,11 @@ reproducer would not reproduce anything.
 """
 
 import json
+from dataclasses import replace
 
 import pytest
+
+from repro.storage.intents import SIM_CRASH_POINTS
 
 from repro.harness.runner import run_experiment
 from repro.sim.network import DeliveryOrder
@@ -119,3 +122,42 @@ def test_replayed_case_reproduces_the_run_exactly():
 def test_every_workload_factory_builds():
     for name, factory in WORKLOADS.items():
         assert factory(4) is not None, name
+
+
+def test_crash_points_only_on_retransmit_cases():
+    seen_points = False
+    for seed in range(120):
+        case = generate_case(seed)
+        if case.crash_points:
+            seen_points = True
+            assert case.retransmit_on_token
+            for pid, point, downtime in case.crash_points:
+                assert 0 <= pid < case.n
+                assert point in SIM_CRASH_POINTS
+                assert downtime > 0
+    assert seen_points  # the 0.35 gate hits well within 120 seeds
+
+
+def test_crash_points_are_disabled_by_profile():
+    quiet = replace(PROFILES["default"], crash_point_prob=0.0)
+    assert all(
+        generate_case(seed, quiet).crash_points == () for seed in range(40)
+    )
+
+
+def test_legacy_reproducers_without_crash_points_load():
+    case = generate_case(7)
+    data = case_to_dict(case)
+    del data["crash_points"]   # recorded before crash points existed
+    loaded = case_from_dict(json.loads(json.dumps(data)))
+    assert loaded == replace(case, crash_points=())
+
+
+def test_build_spec_arms_crash_points():
+    case = next(
+        c for c in (generate_case(s) for s in range(200)) if c.crash_points
+    )
+    spec = build_spec(case)
+    assert tuple(
+        (ev.pid, ev.point, ev.downtime) for ev in spec.crash_points
+    ) == case.crash_points

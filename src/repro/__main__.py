@@ -34,6 +34,8 @@ Examples::
     python -m repro bench crash-storm --repeats 5
     python -m repro stress --schedules 500 --seed 0 --jobs 4
     python -m repro stress --replay stress-repro-seed55.json
+    python -m repro stress --live --schedules 3
+    python -m repro live -n 3 --jobs 9 --no-crash --faults --fault-seed 7
     python -m repro exec-bench --schedules 200 --jobs 4
 """
 
@@ -248,6 +250,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_stress(args: argparse.Namespace) -> int:
     """Randomized fault-injection sweep (or replay of one reproducer)."""
+    import json
     from pathlib import Path
 
     from repro.stress import PROFILES, load_reproducer, run_case, sweep
@@ -255,11 +258,22 @@ def cmd_stress(args: argparse.Namespace) -> int:
     profile = PROFILES[args.profile]
 
     if args.replay is not None:
-        case, payload = load_reproducer(Path(args.replay))
-        print(f"replaying {args.replay}: {case.describe()}")
-        result = run_case(
-            case, theorem_max_states=profile.theorem_max_states
-        )
+        # Reproducers are self-describing: a "live": true marker routes
+        # the replay to the real TCP cluster, everything else to the
+        # simulator.  Either way the shrunk case is what replays.
+        payload = json.loads(Path(args.replay).read_text())
+        if payload.get("live"):
+            from repro.stress import load_live_reproducer, run_live_case
+
+            case, payload = load_live_reproducer(Path(args.replay))
+            print(f"replaying {args.replay} (live): {case.describe()}")
+            result = run_live_case(case)
+        else:
+            case, payload = load_reproducer(Path(args.replay))
+            print(f"replaying {args.replay}: {case.describe()}")
+            result = run_case(
+                case, theorem_max_states=profile.theorem_max_states
+            )
         if result.failed:
             print(f"still failing: {result.headline()}")
             for violation in result.violations:
@@ -268,6 +282,9 @@ def cmd_stress(args: argparse.Namespace) -> int:
         recorded = payload.get("violations") or [payload.get("error")]
         print(f"now passing (previously: {recorded[0]})")
         return 0
+
+    if args.live:
+        return _cmd_stress_live(args)
 
     out_dir = Path(args.out_dir) if args.out_dir else None
     if args.fail_fast and args.jobs > 1:
@@ -296,6 +313,38 @@ def cmd_stress(args: argparse.Namespace) -> int:
         progress=progress if not args.quiet else None,
         jobs=args.jobs,
         cache=cache,
+    )
+    print(report.summary())
+    for path in report.reproducers:
+        print(f"  wrote {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_stress_live(args: argparse.Namespace) -> int:
+    """``stress --live``: seeded fault schedules on real TCP clusters."""
+    from pathlib import Path
+
+    from repro.stress import live_sweep
+
+    if args.jobs > 1:
+        raise SystemExit("--live runs serially; drop --jobs")
+    if args.cache_dir is not None:
+        raise SystemExit("--live does not support --cache-dir")
+
+    def progress(index: int, result) -> None:
+        if result.failed:
+            print(f"  seed {result.case.seed}: {result.headline()}")
+        else:
+            print(f"  seed {result.case.seed}: ok "
+                  f"({result.case.describe()})")
+
+    report = live_sweep(
+        args.schedules,
+        base_seed=args.seed,
+        shrink=not args.no_shrink,
+        fail_fast=args.fail_fast,
+        out_dir=Path(args.out_dir) if args.out_dir else None,
+        progress=progress if not args.quiet else None,
     )
     print(report.summary())
     for path in report.reproducers:
@@ -355,11 +404,13 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 def cmd_live(args: argparse.Namespace) -> int:
     """Run a real asyncio/TCP cluster with a SIGKILL crash; grade it."""
+    import json
     import tempfile
 
     from repro.live import (
         LiveClusterSpec,
         LiveCrashPlan,
+        LiveFaultPlan,
         check_live_run,
         run_cluster,
     )
@@ -373,11 +424,24 @@ def cmd_live(args: argparse.Namespace) -> int:
                 downtime=args.downtime,
             )
         )
+    faults = LiveFaultPlan()
+    if args.faults is not None:
+        if args.faults == "@seeded":
+            from repro.stress import seeded_fault_plan
+
+            faults = seeded_fault_plan(
+                args.fault_seed, n=args.n, run_seconds=args.run_seconds
+            )
+        else:
+            with open(args.faults, "r", encoding="utf-8") as fh:
+                faults = LiveFaultPlan.from_dict(json.load(fh))
+        print(f"fault schedule: {faults.describe()}")
     spec = LiveClusterSpec(
         n=args.n,
         jobs=args.jobs,
         run_seconds=args.run_seconds,
         crashes=crashes,
+        faults=faults,
     )
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro-live-")
     print(
@@ -391,6 +455,12 @@ def cmd_live(args: argparse.Namespace) -> int:
     print(f"trace events  : {len(result.trace)}")
     print(f"deliveries    : {result.total_delivered}")
     print(f"wall time     : {result.wall_seconds:.2f}s")
+    if faults.event_count:
+        for pid in sorted(result.done):
+            counters = result.done[pid].get("faults", {})
+            fired = {k: v for k, v in counters.items() if v}
+            if fired:
+                print(f"  p{pid} fault injections: {fired}")
     print(verdict.summary())
     return 0 if verdict.ok else 1
 
@@ -645,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run schedules across worker processes")
     stress.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="on-disk result cache for schedule outcomes")
+    stress.add_argument("--live", action="store_true",
+                        help="sweep seeded fault schedules on real TCP "
+                             "clusters (partitions, gray links, disk "
+                             "faults, corrupt frames) instead of the "
+                             "simulator")
     stress.set_defaults(func=cmd_stress)
 
     exec_bench = sub.add_parser(
@@ -682,6 +757,13 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--crash-at", type=float, default=0.25)
     live.add_argument("--downtime", type=float, default=1.0)
     live.add_argument("--no-crash", action="store_true")
+    live.add_argument("--faults", nargs="?", const="@seeded", default=None,
+                      metavar="JSON",
+                      help="inject a fault schedule: a LiveFaultPlan JSON "
+                           "file, or (with no value) a seeded schedule "
+                           "drawn from --fault-seed")
+    live.add_argument("--fault-seed", type=int, default=0,
+                      help="seed for the generated fault schedule")
     live.add_argument("--workdir", default=None,
                       help="keep run artifacts here (default: temp dir)")
     live.set_defaults(func=cmd_live)

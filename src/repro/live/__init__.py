@@ -18,6 +18,9 @@ SIGKILL crashes:
   repro.live.node --config ...``);
 - :mod:`repro.live.supervisor` -- spawns the cluster, injects SIGKILL
   crashes per a :class:`LiveCrashPlan`, merges the trace;
+- :mod:`repro.live.faults` -- :class:`LiveFaultPlan`, the live mirror of
+  the simulator's failure vocabulary (partitions, asymmetric drops, gray
+  links, disk faults, corrupt frames), enforced node-side;
 - :mod:`repro.live.verify` -- recovery/no-orphan verdict over the merged
   trace;
 - :mod:`repro.live.bench` -- throughput/latency benchmark
@@ -27,6 +30,15 @@ SIGKILL crashes:
 """
 
 from repro.live.env import LiveEnv, LiveTrace
+from repro.live.faults import (
+    LiveCorruptFramePlan,
+    LiveDiskFaultPlan,
+    LiveFaultPlan,
+    LiveGrayLinkPlan,
+    LiveLinkDropPlan,
+    LivePartitionPlan,
+    NodeFaults,
+)
 from repro.live.load import LoadPipelineApp, OpenLoopSource, run_load_bench
 from repro.live.storage import FileStableStorage
 from repro.live.supervisor import LiveClusterSpec, LiveCrashPlan, run_cluster
@@ -35,11 +47,18 @@ from repro.live.verify import LiveVerdict, check_live_run
 __all__ = [
     "FileStableStorage",
     "LiveClusterSpec",
+    "LiveCorruptFramePlan",
     "LiveCrashPlan",
+    "LiveDiskFaultPlan",
     "LiveEnv",
+    "LiveFaultPlan",
+    "LiveGrayLinkPlan",
+    "LiveLinkDropPlan",
+    "LivePartitionPlan",
     "LiveTrace",
     "LiveVerdict",
     "LoadPipelineApp",
+    "NodeFaults",
     "OpenLoopSource",
     "check_live_run",
     "run_cluster",

@@ -1,0 +1,478 @@
+"""Live fault injection: partitions, gray links, disk faults, corruption.
+
+The simulator has had a rich failure model since PR 2 (``sim/failures``:
+crash plans, partition plans, non-FIFO delivery); the live runtime only
+ever injected SIGKILL.  This module closes that gap with a *plan
+vocabulary* mirroring the simulator's -- plain, JSON-serialisable data
+that rides in the supervisor's :class:`~repro.live.supervisor.LiveClusterSpec`
+and round-trips through the stress harness's reproducer files, so ddmin
+shrinking works on live fault schedules exactly as it does on simulated
+ones.
+
+Fault classes (all windows are ``[at, until)`` in cluster env-time):
+
+- :class:`LivePartitionPlan` -- symmetric partition: every link crossing
+  the group boundary is black-holed in both directions until the heal.
+- :class:`LiveLinkDropPlan` -- *one-way* (asymmetric) black-hole on a
+  single directed link: ``src`` cannot reach ``dst``; the reverse
+  direction keeps flowing.
+- :class:`LiveGrayLinkPlan` -- a gray link: fixed delay plus jitter and
+  an optional bandwidth throttle on the write path.
+- :class:`LiveDiskFaultPlan` -- stable-storage faults: ``fsync`` that
+  fails (group-commit window flushes raise and must retry -- the PR 7
+  dirty-flag fix under real injection) or stalls.
+- :class:`LiveCorruptFramePlan` -- seeded bit-flips / truncations applied
+  to outgoing data frames, proving the CRC framing and
+  :class:`~repro.live.framing.BufferedFrameReader` drop-and-redial
+  instead of crashing or delivering garbage.
+
+Injection model: the supervisor compiles the unified
+:class:`LiveFaultPlan` into a per-node schedule carried in each node's
+config file, and every node executes its slice against the shared epoch
+clock (the same clock the supervisor schedules SIGKILLs on).  Activation
+is evaluated at use time -- "is env-now inside the window?" -- rather
+than via control messages, because a control channel would itself be
+subject to the partitions being injected.  The checks live inside
+:class:`~repro.live.transport.MeshTransport` (dial, pump, write path)
+and :class:`~repro.live.storage.FileStableStorage` (persist), so the
+redial / outbox / ack / group-commit machinery experiences each fault
+exactly as it would a real network or disk.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Disk-fault modes: ``fail`` raises from the group-commit window flush
+#: (sync barriers stay correct; the retry path must heal), ``stall``
+#: delays every persist by ``stall`` seconds.
+DISK_FAULT_MODES = ("fail", "stall")
+
+#: Frame-corruption modes.  ``mixed`` draws one of the others per frame.
+CORRUPT_MODES = ("bitflip", "truncate", "mixed")
+
+
+@dataclass(frozen=True)
+class LivePartitionPlan:
+    """Symmetric partition of the cluster into ``groups`` for
+    ``[at, heal_at)``; links inside a group are untouched."""
+
+    at: float
+    groups: tuple[tuple[int, ...], ...]
+    heal_at: float
+
+    def __post_init__(self) -> None:
+        if self.heal_at <= self.at or self.at < 0:
+            raise ValueError(f"bad partition window {self!r}")
+        seen: set[int] = set()
+        for group in self.groups:
+            for pid in group:
+                if pid in seen:
+                    raise ValueError(
+                        f"pid {pid} appears in two partition groups"
+                    )
+                seen.add(pid)
+
+
+@dataclass(frozen=True)
+class LiveLinkDropPlan:
+    """One-way black-hole: ``src`` cannot send to ``dst`` in
+    ``[at, until)``.  The reverse link is unaffected (asymmetric)."""
+
+    src: int
+    dst: int
+    at: float
+    until: float
+
+    def __post_init__(self) -> None:
+        if self.until <= self.at or self.at < 0 or self.src == self.dst:
+            raise ValueError(f"bad link-drop window {self!r}")
+
+
+@dataclass(frozen=True)
+class LiveGrayLinkPlan:
+    """Gray link ``src -> dst`` for ``[at, until)``: each write batch is
+    delayed by ``delay`` plus ``uniform(0, jitter)`` seconds, and
+    ``bandwidth`` (bytes/second), when set, throttles the batch."""
+
+    src: int
+    dst: int
+    at: float
+    until: float
+    delay: float = 0.0
+    jitter: float = 0.0
+    bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.until <= self.at or self.at < 0 or self.src == self.dst:
+            raise ValueError(f"bad gray-link window {self!r}")
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError(f"negative delay/jitter in {self!r}")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError(f"non-positive bandwidth in {self!r}")
+
+
+@dataclass(frozen=True)
+class LiveDiskFaultPlan:
+    """Stable-storage fault on ``pid`` for ``[at, until)``.
+
+    ``fail``: group-commit window flushes raise ``OSError`` (the dirty
+    flag must survive and the window must re-arm -- the PR 7 fix).
+    ``stall``: every persist sleeps ``stall`` seconds before writing.
+    """
+
+    pid: int
+    at: float
+    until: float
+    mode: str = "fail"
+    stall: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.until <= self.at or self.at < 0:
+            raise ValueError(f"bad disk-fault window {self!r}")
+        if self.mode not in DISK_FAULT_MODES:
+            raise ValueError(f"unknown disk-fault mode {self.mode!r}")
+        if self.stall < 0:
+            raise ValueError(f"negative stall in {self!r}")
+
+
+@dataclass(frozen=True)
+class LiveCorruptFramePlan:
+    """Corrupt outgoing data frames on link ``src -> dst`` during
+    ``[at, until)``: each frame is corrupted with probability ``rate``
+    using a stream seeded by ``seed`` (and the link), so a given plan
+    corrupts reproducibly for a fixed traffic pattern."""
+
+    src: int
+    dst: int
+    at: float
+    until: float
+    rate: float = 0.05
+    seed: int = 0
+    mode: str = "bitflip"
+
+    def __post_init__(self) -> None:
+        if self.until <= self.at or self.at < 0 or self.src == self.dst:
+            raise ValueError(f"bad corrupt-frame window {self!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"corruption rate {self.rate} outside [0, 1]")
+        if self.mode not in CORRUPT_MODES:
+            raise ValueError(f"unknown corruption mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class LiveFaultPlan:
+    """The unified live fault schedule -- everything but the SIGKILLs
+    (those stay in :class:`~repro.live.supervisor.LiveCrashPlan`)."""
+
+    partitions: tuple[LivePartitionPlan, ...] = ()
+    drops: tuple[LiveLinkDropPlan, ...] = ()
+    gray_links: tuple[LiveGrayLinkPlan, ...] = ()
+    disk_faults: tuple[LiveDiskFaultPlan, ...] = ()
+    corrupt_frames: tuple[LiveCorruptFramePlan, ...] = ()
+
+    @property
+    def event_count(self) -> int:
+        return (
+            len(self.partitions) + len(self.drops) + len(self.gray_links)
+            + len(self.disk_faults) + len(self.corrupt_frames)
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.partitions:
+            parts.append(f"partitions={len(self.partitions)}")
+        if self.drops:
+            parts.append(f"drops={len(self.drops)}")
+        if self.gray_links:
+            parts.append(f"gray={len(self.gray_links)}")
+        if self.disk_faults:
+            parts.append(f"disk={len(self.disk_faults)}")
+        if self.corrupt_frames:
+            parts.append(f"corrupt={len(self.corrupt_frames)}")
+        return " ".join(parts) if parts else "no faults"
+
+    def validate(self, n: int) -> None:
+        """Raise ``ValueError`` for pids outside ``range(n)``."""
+        def check_pid(pid: int, what: str) -> None:
+            if not 0 <= pid < n:
+                raise ValueError(f"{what} pid {pid} outside 0..{n - 1}")
+
+        for p in self.partitions:
+            for group in p.groups:
+                for pid in group:
+                    check_pid(pid, "partition")
+        for d in self.drops:
+            check_pid(d.src, "drop src")
+            check_pid(d.dst, "drop dst")
+        for g in self.gray_links:
+            check_pid(g.src, "gray src")
+            check_pid(g.dst, "gray dst")
+        for df in self.disk_faults:
+            check_pid(df.pid, "disk fault")
+        for c in self.corrupt_frames:
+            check_pid(c.src, "corrupt src")
+            check_pid(c.dst, "corrupt dst")
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (reproducer files, node configs)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "partitions": [
+                [p.at, [list(g) for g in p.groups], p.heal_at]
+                for p in self.partitions
+            ],
+            "drops": [
+                [d.src, d.dst, d.at, d.until] for d in self.drops
+            ],
+            "gray_links": [
+                [g.src, g.dst, g.at, g.until, g.delay, g.jitter,
+                 g.bandwidth]
+                for g in self.gray_links
+            ],
+            "disk_faults": [
+                [df.pid, df.at, df.until, df.mode, df.stall]
+                for df in self.disk_faults
+            ],
+            "corrupt_frames": [
+                [c.src, c.dst, c.at, c.until, c.rate, c.seed, c.mode]
+                for c in self.corrupt_frames
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "LiveFaultPlan":
+        return LiveFaultPlan(
+            partitions=tuple(
+                LivePartitionPlan(
+                    at=float(at),
+                    groups=tuple(
+                        tuple(int(pid) for pid in group) for group in groups
+                    ),
+                    heal_at=float(heal_at),
+                )
+                for at, groups, heal_at in data.get("partitions", ())
+            ),
+            drops=tuple(
+                LiveLinkDropPlan(int(s), int(d), float(at), float(until))
+                for s, d, at, until in data.get("drops", ())
+            ),
+            gray_links=tuple(
+                LiveGrayLinkPlan(
+                    int(s), int(d), float(at), float(until),
+                    delay=float(delay), jitter=float(jitter),
+                    bandwidth=None if bw is None else float(bw),
+                )
+                for s, d, at, until, delay, jitter, bw
+                in data.get("gray_links", ())
+            ),
+            disk_faults=tuple(
+                LiveDiskFaultPlan(
+                    int(pid), float(at), float(until),
+                    mode=str(mode), stall=float(stall),
+                )
+                for pid, at, until, mode, stall
+                in data.get("disk_faults", ())
+            ),
+            corrupt_frames=tuple(
+                LiveCorruptFramePlan(
+                    int(s), int(d), float(at), float(until),
+                    rate=float(rate), seed=int(seed), mode=str(mode),
+                )
+                for s, d, at, until, rate, seed, mode
+                in data.get("corrupt_frames", ())
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-node compilation (what rides in each node's config file)
+    # ------------------------------------------------------------------
+    def for_node(self, pid: int, n: int) -> dict[str, Any]:
+        """The slice of the plan node ``pid`` enforces, as plain JSON.
+
+        Partitions compile to per-destination block windows on every
+        link crossing the group boundary (a pid listed in no group is
+        connected to everyone throughout).  Outbound faults (blocks,
+        gray, corruption) land on the *sender*; disk faults on the owner.
+        """
+        blocked: list[list[float]] = []
+        for p in self.partitions:
+            my_group = next(
+                (set(g) for g in p.groups if pid in g), None
+            )
+            if my_group is None:
+                continue
+            for dst in range(n):
+                if dst != pid and dst not in my_group:
+                    blocked.append([dst, p.at, p.heal_at])
+        for d in self.drops:
+            if d.src == pid:
+                blocked.append([d.dst, d.at, d.until])
+        return {
+            "blocked": blocked,
+            "gray": [
+                [g.dst, g.at, g.until, g.delay, g.jitter, g.bandwidth]
+                for g in self.gray_links if g.src == pid
+            ],
+            "corrupt": [
+                [c.dst, c.at, c.until, c.rate, c.seed, c.mode]
+                for c in self.corrupt_frames if c.src == pid
+            ],
+            "disk": [
+                [df.at, df.until, df.mode, df.stall]
+                for df in self.disk_faults if df.pid == pid
+            ],
+        }
+
+
+class NodeFaults:
+    """One node's armed fault schedule, evaluated against env-time.
+
+    Built from the ``"faults"`` section of the node config (the output of
+    :meth:`LiveFaultPlan.for_node`).  Until :meth:`set_clock` is called
+    -- the node observes the cluster epoch -- every fault is inactive, so
+    the pre-epoch mesh handshake is never disturbed; fault windows are
+    scheduled at env-times ``>= 0`` which only exist after the epoch.
+    """
+
+    def __init__(self, pid: int, cfg: dict[str, Any]) -> None:
+        self.pid = pid
+        self._blocked = [
+            (int(dst), float(at), float(until))
+            for dst, at, until in cfg.get("blocked", ())
+        ]
+        self._gray = [
+            (int(dst), float(at), float(until), float(delay),
+             float(jitter), None if bw is None else float(bw))
+            for dst, at, until, delay, jitter, bw in cfg.get("gray", ())
+        ]
+        self._corrupt = [
+            (int(dst), float(at), float(until), float(rate), int(seed),
+             str(mode))
+            for dst, at, until, rate, seed, mode in cfg.get("corrupt", ())
+        ]
+        self._disk = [
+            (float(at), float(until), str(mode), float(stall))
+            for at, until, mode, stall in cfg.get("disk", ())
+        ]
+        self._now: Callable[[], float] | None = None
+        # One stream per directed link, seeded by (plan seed, link), so
+        # replays of a schedule corrupt the same way for the same traffic.
+        self._rngs: dict[tuple[str, int], random.Random] = {}
+        self.sends_blocked = 0
+        self.frames_corrupted = 0
+        self.gray_delays = 0
+        self.disk_fault_failures = 0
+        self.disk_fault_stalls = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self._blocked or self._gray or self._corrupt or self._disk
+        )
+
+    def set_clock(self, now: Callable[[], float]) -> None:
+        """Arm the schedule: ``now`` is the node's env-time reader."""
+        self._now = now
+
+    def _t(self) -> float:
+        # Before the epoch is observed there is no env-time; report a
+        # time no window can contain so every fault reads as inactive.
+        return self._now() if self._now is not None else -1.0
+
+    def _rng(self, kind: str, dst: int, seed: int = 0) -> random.Random:
+        key = (kind, dst)
+        if key not in self._rngs:
+            self._rngs[key] = random.Random(
+                (seed << 20) ^ (self.pid << 10) ^ dst
+            )
+        return self._rngs[key]
+
+    # ------------------------------------------------------------------
+    # Transport hooks
+    # ------------------------------------------------------------------
+    def send_blocked(self, dst: int) -> bool:
+        """Is the directed link ``self.pid -> dst`` black-holed now?"""
+        t = self._t()
+        for blocked_dst, at, until in self._blocked:
+            if blocked_dst == dst and at <= t < until:
+                self.sends_blocked += 1
+                return True
+        return False
+
+    def gray_penalty(self, dst: int, nbytes: int) -> float:
+        """Seconds the write path must wait before sending ``nbytes``
+        to ``dst`` (0.0 when no gray window is active)."""
+        t = self._t()
+        penalty = 0.0
+        for gray_dst, at, until, delay, jitter, bandwidth in self._gray:
+            if gray_dst != dst or not at <= t < until:
+                continue
+            penalty += delay
+            if jitter:
+                penalty += self._rng("gray", dst).uniform(0.0, jitter)
+            if bandwidth:
+                penalty += nbytes / bandwidth
+        if penalty > 0.0:
+            self.gray_delays += 1
+        return penalty
+
+    def corrupt_frame(self, dst: int, framed: bytes) -> bytes:
+        """Maybe corrupt an outgoing framed payload (header included --
+        a flipped length byte must hit the receiver's length cap)."""
+        t = self._t()
+        for c_dst, at, until, rate, seed, mode in self._corrupt:
+            if c_dst != dst or not at <= t < until:
+                continue
+            rng = self._rng("corrupt", dst, seed)
+            if rng.random() >= rate:
+                continue
+            self.frames_corrupted += 1
+            if mode == "mixed":
+                mode = rng.choice(("bitflip", "truncate"))
+            if mode == "truncate":
+                return framed[: rng.randrange(0, len(framed))]
+            flipped = bytearray(framed)
+            index = rng.randrange(0, len(flipped))
+            flipped[index] ^= 1 << rng.randrange(0, 8)
+            return bytes(flipped)
+        return framed
+
+    # ------------------------------------------------------------------
+    # Storage hook
+    # ------------------------------------------------------------------
+    def disk_fault(self, *, window: bool) -> None:
+        """Called by ``FileStableStorage._persist`` before the write.
+
+        ``fail`` raises only for group-commit *window* flushes: those
+        carry the retry machinery (dirty flag restored, window re-armed)
+        and a lost lazy tail is condemned by the sender's restart token.
+        Sync barriers are correctness-critical and stay un-failed --
+        a disk that fails those is a crashed node, which SIGKILL plans
+        already model.  ``stall`` delays every persist.
+        """
+        t = self._t()
+        for at, until, mode, stall in self._disk:
+            if not at <= t < until:
+                continue
+            if mode == "stall":
+                self.disk_fault_stalls += 1
+                time.sleep(stall)
+            elif mode == "fail" and window:
+                self.disk_fault_failures += 1
+                raise OSError(
+                    f"injected fsync failure (window [{at}, {until}))"
+                )
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "sends_blocked": self.sends_blocked,
+            "frames_corrupted": self.frames_corrupted,
+            "gray_delays": self.gray_delays,
+            "disk_fault_failures": self.disk_fault_failures,
+            "disk_fault_stalls": self.disk_fault_stalls,
+        }

@@ -1,31 +1,55 @@
-"""Length-prefixed framing for the live TCP links.
+"""Length-prefixed, checksummed framing for the live TCP links.
 
-Each frame is a 4-byte big-endian length followed by that many bytes of
-payload -- binary wire frames (:mod:`repro.live.wire`, first byte 0xB5)
-or legacy UTF-8 JSON (:mod:`repro.live.codec`, first byte ``{``).  The
-cap rejects corrupt prefixes before they turn into a multi-gigabyte read.
+Each frame is an 8-byte big-endian header -- 4 bytes of payload length
+followed by 4 bytes of CRC32 over the payload -- and then the payload
+itself: binary wire frames (:mod:`repro.live.wire`, first byte 0xB5) or
+legacy UTF-8 JSON (:mod:`repro.live.codec`, first byte ``{``).
+
+The length cap rejects corrupt prefixes before they turn into a
+multi-gigabyte read; the CRC rejects everything subtler.  TCP's own
+checksum is 16 bits and famously misses real corruption, and a bit flip
+inside a binary frame can decode *successfully* into a wrong value --
+which the protocol would then treat as real application state.  With the
+CRC, any corrupted frame (header or payload) surfaces as a
+:class:`FramingError`; the receiver drops the connection and the
+sender's outbox retransmits everything unacknowledged on redial, so
+corruption degrades into the crash/reconnect case the recovery protocol
+already handles.
 """
 
 from __future__ import annotations
 
 import asyncio
 import struct
+import zlib
 
 #: Refuse frames larger than this (a live token or envelope is ~KBs).
 MAX_FRAME = 16 * 1024 * 1024
 
-_HEADER = struct.Struct(">I")
+_HEADER = struct.Struct(">II")
+
+#: Framing bytes added per frame on the wire (length + CRC32 header);
+#: byte accounting in the transport uses this, not a literal.
+OVERHEAD = _HEADER.size
 
 
 class FramingError(ConnectionError):
-    """Raised for oversized or truncated frames."""
+    """Raised for oversized, truncated, or corrupt frames."""
 
 
 def frame(payload: bytes) -> bytes:
-    """Prefix ``payload`` with its length."""
+    """Prefix ``payload`` with its length and CRC32."""
     if len(payload) > MAX_FRAME:
         raise FramingError(f"frame of {len(payload)} bytes exceeds cap")
-    return _HEADER.pack(len(payload)) + payload
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _check_crc(payload: bytes, crc: int) -> bytes:
+    if zlib.crc32(payload) != crc:
+        raise FramingError(
+            f"frame of {len(payload)} bytes failed its CRC check"
+        )
+    return payload
 
 
 async def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
@@ -41,13 +65,14 @@ async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
         if not exc.partial:
             return None
         raise FramingError("connection closed mid-header") from exc
-    (length,) = _HEADER.unpack(header)
+    length, crc = _HEADER.unpack(header)
     if length > MAX_FRAME:
         raise FramingError(f"incoming frame of {length} bytes exceeds cap")
     try:
-        return await reader.readexactly(length)
+        payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise FramingError("connection closed mid-frame") from exc
+    return _check_crc(payload, crc)
 
 
 class BufferedFrameReader:
@@ -77,7 +102,7 @@ class BufferedFrameReader:
         pos = 0
         available = len(buf)
         while available - pos >= _HEADER.size:
-            (length,) = _HEADER.unpack_from(buf, pos)
+            length, crc = _HEADER.unpack_from(buf, pos)
             if length > MAX_FRAME:
                 raise FramingError(
                     f"incoming frame of {length} bytes exceeds cap"
@@ -85,7 +110,9 @@ class BufferedFrameReader:
             end = pos + _HEADER.size + length
             if end > available:
                 break
-            frames.append(bytes(buf[pos + _HEADER.size:end]))
+            frames.append(
+                _check_crc(bytes(buf[pos + _HEADER.size:end]), crc)
+            )
             pos = end
         if pos:
             del buf[:pos]

@@ -51,6 +51,7 @@ from repro.apps.applications import PipelineApp
 from repro.harness.conformance import PROTOCOL_REGISTRY
 from repro.live import codec
 from repro.live.env import LiveEnv, LiveTrace
+from repro.live.faults import NodeFaults
 from repro.live.storage import FileStableStorage
 from repro.live.transport import MeshTransport
 from repro.protocols.base import ProtocolConfig
@@ -119,6 +120,12 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
             action=lambda point: os.kill(os.getpid(), signal.SIGKILL),
         )
 
+    # Fault schedule (this node's slice of the cluster's LiveFaultPlan).
+    # Inactive until set_clock below: no window exists before env-time 0,
+    # so the mesh handshake and epoch barrier are never disturbed.
+    faults = NodeFaults(pid, cfg.get("faults", {}))
+    storage.fault_hook = faults.disk_fault
+
     transport = MeshTransport(
         pid,
         int(cfg["n"]),
@@ -127,6 +134,7 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         boot=boot,
         storage=storage,
         wire_format=cfg.get("wire_format", "binary"),
+        faults=faults,
     )
     await transport.start()
 
@@ -146,6 +154,10 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         trace=trace,
         mono_anchor=mono_anchor,
     )
+    # Arm the fault schedule on the shared epoch clock -- the same clock
+    # the supervisor schedules SIGKILLs on, so fault windows and crash
+    # times compose on one timeline.
+    faults.set_clock(lambda: env.now)
     protocol_cls = PROTOCOL_REGISTRY[cfg.get("protocol", "damani-garg")]
     protocol = protocol_cls(
         env, build_app(cfg.get("app", {})),
@@ -205,8 +217,10 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
             "bytes_sent": transport.bytes_sent,
             "bytes_received": transport.bytes_received,
             "data_frames_sent": transport.data_frames_sent,
+            "dial_attempts": transport.dial_attempts,
             "wire_format": transport.wire_format,
         },
+        "faults": faults.counters(),
         "storage_persists": storage.persist_count,
         "storage_window_flushes": storage.window_flushes,
         "storage_lazy_writes": storage.lazy_writes,

@@ -123,6 +123,11 @@ class FileStableStorage(StableStorage):
         self.persist_count = 0          # fsync'd file writes
         self.window_flushes = 0         # persists triggered by the timer
         self.dir_fsyncs = 0             # directory fsyncs after os.replace
+        # Optional fault injector (NodeFaults.disk_fault): called at the
+        # top of every persist with window=True/False.  It may stall, or
+        # raise for window-triggered flushes -- which must then leave the
+        # dirty flag set and the flush window re-armed (the retry path).
+        self.fault_hook: Callable[..., None] | None = None
         self._dirty = False
         self._flush_handle: asyncio.TimerHandle | None = None
         self._loading = True
@@ -196,7 +201,7 @@ class FileStableStorage(StableStorage):
         self._flush_handle = None
         if self._dirty:
             self.window_flushes += 1
-            self._persist()
+            self._persist(window=True)
 
     def sync(self) -> None:
         """Force any pending lazy writes to disk now."""
@@ -237,7 +242,7 @@ class FileStableStorage(StableStorage):
             "intent_next_id": self._intent_next_id,
         }
 
-    def _persist(self) -> None:
+    def _persist(self, *, window: bool = False) -> None:
         if self._loading:
             return
         # A barrier hardens everything, pending lazy writes included --
@@ -252,6 +257,8 @@ class FileStableStorage(StableStorage):
             self._flush_handle = None
         tmp = f"{self.path}.tmp"
         try:
+            if self.fault_hook is not None:
+                self.fault_hook(window=window)
             with open(tmp, "wb") as fh:
                 pickle.dump(self._durable_state(), fh, protocol=4)
                 fh.flush()

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.live.env import merge_traces
+from repro.live.faults import LiveFaultPlan
 from repro.runtime.trace import EventKind, SimTrace
 
 
@@ -81,6 +82,10 @@ class LiveClusterSpec:
     # Stable-storage crash-window injection (at most one plan per pid):
     # the armed node SIGKILLs itself when the named durable step lands.
     crash_points: list[LiveCrashPointPlan] = field(default_factory=list)
+    # Network/disk fault schedule (partitions, gray links, disk faults,
+    # corrupt frames).  Compiled per node into the config files; each
+    # node enforces its slice on the shared epoch clock.
+    faults: LiveFaultPlan = field(default_factory=LiveFaultPlan)
     host: str = "127.0.0.1"
     # Application spec passed to every node.  None means the classic
     # closed pipeline workload ({"kind": "pipeline", "jobs": jobs}); the
@@ -205,6 +210,7 @@ def _spawn(config_path: str, log_path: str) -> subprocess.Popen:
 
 def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
     """Run one live cluster to completion and collect its artifacts."""
+    spec.faults.validate(spec.n)
     os.makedirs(workdir, exist_ok=True)
     data_dir = os.path.join(workdir, "data")
     os.makedirs(data_dir, exist_ok=True)
@@ -239,6 +245,7 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
             "config": spec.protocol_config(),
             "wire_format": spec.wire_format,
             "storage_flush_window": spec.storage_flush_window,
+            "faults": spec.faults.for_node(pid, spec.n),
             "data_dir": data_dir,
             "trace_path": os.path.join(workdir, f"trace_p{pid}.jsonl"),
             "done_path": os.path.join(workdir, f"done_p{pid}.json"),

@@ -37,12 +37,14 @@ import asyncio
 import contextlib
 import json
 import os
+import random
 import sys
 import time
 from typing import Any
 
 from repro.live import codec, wire
 from repro.live.framing import (
+    OVERHEAD,
     BufferedFrameReader,
     FramingError,
     frame,
@@ -59,8 +61,10 @@ from repro.runtime.message import NetworkMessage
 _OUTBOX_KEY = "transport_outbox"
 
 _BACKOFF_FLOOR = 0.05
-_BACKOFF_CEIL = 1.0
+_BACKOFF_CEIL = 2.0
 _IDLE_POLL = 0.5
+#: How often a sender re-checks a fault-blocked link for its heal time.
+_BLOCKED_POLL = 0.05
 
 #: Set REPRO_LIVE_DEBUG=1 to log connection and dedup decisions to stderr
 #: (they end up in the node's log file).
@@ -86,6 +90,7 @@ class MeshTransport:
         boot: int = 0,
         storage: Any | None = None,
         wire_format: str = "binary",
+        faults: Any | None = None,
     ) -> None:
         if wire_format not in ("binary", "json"):
             raise ValueError(f"unknown wire format {wire_format!r}")
@@ -96,6 +101,10 @@ class MeshTransport:
         self.boot = boot
         self.storage = storage
         self.wire_format = wire_format
+        # NodeFaults (or None): consulted on the dial and write paths so
+        # injected partitions / gray links / corruption hit this link the
+        # way a real network would.
+        self.faults = faults
         self._protocol: Any | None = None
         self._undelivered: list[NetworkMessage] = []
         self._outbox: dict[int, list[tuple[int, NetworkMessage]]] = {
@@ -118,6 +127,7 @@ class MeshTransport:
         self.bytes_sent = 0           # framed bytes written (data + acks)
         self.bytes_received = 0       # framed bytes read (data + acks)
         self.data_frames_sent = 0
+        self.dial_attempts = 0        # open_connection calls (per process)
         if storage is not None:
             saved = storage.get(_OUTBOX_KEY, {})
             self._outbox.update(
@@ -271,12 +281,23 @@ class MeshTransport:
     async def _peer_loop(self, dst: int) -> None:
         backoff = _BACKOFF_FLOOR
         while self._running:
+            if self.faults is not None and self.faults.send_blocked(dst):
+                # Injected black-hole: don't even dial.  Poll the local
+                # schedule for the heal time; on heal, redial and let the
+                # outbox retransmit everything unacknowledged.
+                await asyncio.sleep(_BLOCKED_POLL)
+                continue
             try:
+                self.dial_attempts += 1
                 reader, writer = await asyncio.open_connection(
                     self.host, self.ports[dst]
                 )
             except OSError:
-                await asyncio.sleep(backoff)
+                # Capped exponential backoff with full jitter: the cadence
+                # stays bounded against a long-dead peer, and jitter keeps
+                # a whole cluster from redialling a restarted node in
+                # lockstep.
+                await asyncio.sleep(random.uniform(backoff / 2, backoff))
                 backoff = min(backoff * 2, _BACKOFF_CEIL)
                 continue
             backoff = _BACKOFF_FLOOR
@@ -290,7 +311,7 @@ class MeshTransport:
                         {"hello": {"pid": self.pid, "boot": self.boot}}
                     ).encode("utf-8")
                 await write_frame(writer, hello)
-                self.bytes_sent += len(hello) + 4
+                self.bytes_sent += len(hello) + OVERHEAD
                 await self._pump(dst, writer, ack_task)
             except (ConnectionError, OSError, FramingError):
                 pass
@@ -328,6 +349,11 @@ class MeshTransport:
         while self._running:
             if ack_task.done():
                 return   # read side saw the connection drop
+            if self.faults is not None and self.faults.send_blocked(dst):
+                # A partition window opened while connected: drop the
+                # link so the peer loop parks until the heal, exactly as
+                # if the network path had gone dark mid-connection.
+                return
             batch = [e for e in self._outbox[dst] if e[0] > sent_marker]
             if not batch:
                 self._wake[dst].clear()
@@ -338,16 +364,27 @@ class MeshTransport:
                         self._wake[dst].wait(), timeout=_IDLE_POLL
                     )
                 continue
+            batch_bytes = 0
             for seq, msg in batch:
                 payload = self._encode_data(encoder, seq, msg)
-                writer.write(frame(payload))
-                self.bytes_sent += len(payload) + 4
+                framed = frame(payload)
+                if self.faults is not None:
+                    framed = self.faults.corrupt_frame(dst, framed)
+                writer.write(framed)
+                batch_bytes += len(framed)
                 self.data_frames_sent += 1
                 if seq <= self._max_written.get(dst, 0):
                     self.retransmit_count += 1
                 else:
                     self._max_written[dst] = seq
                 sent_marker = seq
+            self.bytes_sent += batch_bytes
+            if self.faults is not None:
+                # Gray link: hold the batch in the kernel buffer for the
+                # injected delay/jitter/bandwidth penalty before draining.
+                penalty = self.faults.gray_penalty(dst, batch_bytes)
+                if penalty > 0.0:
+                    await asyncio.sleep(penalty)
             await writer.drain()
 
     async def _ack_loop(self, dst: int, reader: asyncio.StreamReader) -> None:
@@ -360,7 +397,7 @@ class MeshTransport:
                 return
             acked = -1
             for data in batch:
-                self.bytes_received += len(data) + 4
+                self.bytes_received += len(data) + OVERHEAD
                 if wire.is_binary(data):
                     if wire.frame_type(data) != wire.FRAME_ACK:
                         continue
@@ -398,7 +435,7 @@ class MeshTransport:
                 ack_seq: int | None = None
                 ack_binary = False
                 for data in batch:
-                    self.bytes_received += len(data) + 4
+                    self.bytes_received += len(data) + OVERHEAD
                     if key is None:
                         # First frame on the link is the sender's hello.
                         if wire.is_binary(data):
@@ -454,7 +491,7 @@ class MeshTransport:
                         else json.dumps({"ack": ack_seq}).encode("utf-8")
                     )
                     await write_frame(writer, ack)
-                    self.bytes_sent += len(ack) + 4
+                    self.bytes_sent += len(ack) + OVERHEAD
         except (ConnectionError, OSError, FramingError):
             pass
         except asyncio.CancelledError:

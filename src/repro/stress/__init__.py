@@ -15,6 +15,20 @@ from repro.stress.generate import (
     case_to_dict,
     generate_case,
 )
+from repro.stress.live import (
+    LiveCaseResult,
+    LiveStressCase,
+    LiveSweepReport,
+    dump_live_reproducer,
+    generate_live_case,
+    live_case_from_dict,
+    live_case_to_dict,
+    live_sweep,
+    load_live_reproducer,
+    run_live_case,
+    seeded_fault_plan,
+    shrink_live_case,
+)
 from repro.stress.oracles import check_case
 from repro.stress.profiles import DEFAULT_PROFILE, PROFILES, WORKLOADS, StressProfile
 from repro.stress.shrink import shrink_case
@@ -47,4 +61,16 @@ __all__ = [
     "SweepReport",
     "dump_reproducer",
     "load_reproducer",
+    "LiveCaseResult",
+    "LiveStressCase",
+    "LiveSweepReport",
+    "generate_live_case",
+    "live_case_to_dict",
+    "live_case_from_dict",
+    "run_live_case",
+    "shrink_live_case",
+    "live_sweep",
+    "seeded_fault_plan",
+    "dump_live_reproducer",
+    "load_live_reproducer",
 ]

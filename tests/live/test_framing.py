@@ -1,12 +1,14 @@
-"""Length-prefixed framing: round trips, EOF semantics, the size cap."""
+"""Length+CRC framing: round trips, EOF semantics, size cap, corruption."""
 
 import asyncio
 import struct
+import zlib
 
 import pytest
 
 from repro.live.framing import (
     MAX_FRAME,
+    OVERHEAD,
     FramingError,
     frame,
     read_frame,
@@ -25,9 +27,10 @@ def _run(coro):
     return asyncio.run(coro)
 
 
-def test_frame_prefixes_length():
+def test_frame_prefixes_length_and_crc():
     framed = frame(b"abc")
-    assert framed == struct.pack(">I", 3) + b"abc"
+    assert framed == struct.pack(">II", 3, zlib.crc32(b"abc")) + b"abc"
+    assert len(framed) == OVERHEAD + 3
 
 
 def test_frame_rejects_oversize():
@@ -61,6 +64,26 @@ def test_truncated_header_raises():
     _run(go())
 
 
+def test_payload_bit_flip_fails_crc():
+    async def go():
+        data = bytearray(frame(b"payload-bytes"))
+        data[OVERHEAD + 3] ^= 0x10   # flip one payload bit
+        with pytest.raises(FramingError, match="CRC"):
+            await read_frame(_reader_with(bytes(data)))
+
+    _run(go())
+
+
+def test_crc_bit_flip_in_header_rejected():
+    async def go():
+        data = bytearray(frame(b"payload-bytes"))
+        data[5] ^= 0x01   # flip a bit inside the CRC field itself
+        with pytest.raises(FramingError, match="CRC"):
+            await read_frame(_reader_with(bytes(data)))
+
+    _run(go())
+
+
 def test_truncated_body_raises():
     async def go():
         data = frame(b"hello")[:-2]
@@ -72,7 +95,7 @@ def test_truncated_body_raises():
 
 def test_oversize_incoming_frame_rejected_before_read():
     async def go():
-        header = struct.pack(">I", MAX_FRAME + 1)
+        header = struct.pack(">II", MAX_FRAME + 1, 0)
         with pytest.raises(FramingError):
             await read_frame(_reader_with(header))
 
@@ -163,9 +186,22 @@ def test_buffered_reader_rejects_oversize_frame():
     from repro.live.framing import BufferedFrameReader
 
     async def go():
-        header = struct.pack(">I", MAX_FRAME + 1)
+        header = struct.pack(">II", MAX_FRAME + 1, 0)
         buffered = BufferedFrameReader(_reader_with(header))
         with pytest.raises(FramingError):
+            await buffered.read_batch()
+
+    _run(go())
+
+
+def test_buffered_reader_detects_payload_corruption():
+    from repro.live.framing import BufferedFrameReader
+
+    async def go():
+        data = bytearray(frame(b"good") + frame(b"corrupt-me"))
+        data[-2] ^= 0x40   # flip a bit in the second frame's payload
+        buffered = BufferedFrameReader(_reader_with(bytes(data)))
+        with pytest.raises(FramingError, match="CRC"):
             await buffered.read_batch()
 
     _run(go())

@@ -307,3 +307,52 @@ def test_lazy_provider_keeps_outbox_durable(tmp_path):
             await b.stop()
 
     asyncio.run(go())
+
+
+def test_redial_rate_is_bounded_by_capped_jittered_backoff():
+    """Dialing a dead peer must back off, not busy-spin: over ~1.2s the
+    dial count stays in the single digits (a tight retry loop would rack
+    up hundreds) while still retrying more than once."""
+    async def go():
+        ports = _free_ports(2)       # port 1 is free but nobody listens
+        a = MeshTransport(0, 2, ports)
+        a.attach(Collector())
+        await a.start()
+        try:
+            a.send(1, _msg(1, 0, 1, "into the void"))
+            await asyncio.sleep(1.2)
+            # Backoff floor 0.05 doubling to a 2.0 ceiling with full
+            # jitter: worst case ~2 + sum of shrinking sleeps.
+            assert 2 <= a.dial_attempts <= 25, a.dial_attempts
+        finally:
+            await a.stop()
+
+    asyncio.run(go())
+
+
+def test_blocked_link_does_not_dial_at_all():
+    """A fault-blocked link polls the block flag instead of dialing --
+    the partition looks like an unreachable host, not a refused port."""
+    class _Blocked:
+        def send_blocked(self, dst):
+            return True
+
+        def corrupt_frame(self, dst, framed):
+            return framed
+
+        def gray_penalty(self, dst, nbytes):
+            return 0.0
+
+    async def go():
+        ports = _free_ports(2)
+        a = MeshTransport(0, 2, ports, faults=_Blocked())
+        a.attach(Collector())
+        await a.start()
+        try:
+            a.send(1, _msg(1, 0, 1, "never sent"))
+            await asyncio.sleep(0.4)
+            assert a.dial_attempts == 0
+        finally:
+            await a.stop()
+
+    asyncio.run(go())

@@ -1,0 +1,160 @@
+"""Injected disk faults against FileStableStorage's group commit.
+
+The ``fault_hook`` attribute is how the live fault layer
+(:class:`repro.live.faults.NodeFaults`) reaches the storage write path:
+it runs at the top of every persist, tagged ``window=True`` for flushes
+triggered by the group-commit timer and ``window=False`` for synchronous
+barriers.  These tests pin the retry contract the live disk-fault mode
+relies on: a raising hook must leave the dirty flag set and the window
+re-armed (so the lazy tail is flushed later, not dropped), and a
+stalling hook must never let a crash expose a half-written image.
+"""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.live.faults import LiveDiskFaultPlan, LiveFaultPlan, NodeFaults
+from repro.live.storage import FileStableStorage
+
+
+@pytest.fixture
+def path(tmp_path):
+    return os.path.join(str(tmp_path), "stable_p0.pickle")
+
+
+def _failing_hook(calls):
+    def hook(*, window):
+        calls.append(window)
+        raise OSError("injected fsync failure")
+    return hook
+
+
+# ---------------------------------------------------------------------------
+# "fail" semantics: window flushes retry, barriers propagate
+# ---------------------------------------------------------------------------
+def test_failing_window_flush_keeps_dirty_and_reschedules(path):
+    """The PR-7 retry contract under hook injection: when the window
+    flush dies, the lazy tail stays pending and a new window is armed --
+    the write is retried, not silently dropped."""
+
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=0.05)
+        storage.put("seed", 1)                  # baseline image on disk
+        calls = []
+        storage.fault_hook = _failing_hook(calls)
+        storage.put_lazy("lazy", "tail")
+        await asyncio.sleep(0.12)               # window fires, hook raises
+        # Retried at least once already (each attempt is window-tagged).
+        assert calls and all(calls)
+        assert storage.pending_lazy             # dirty flag survived
+        assert storage._flush_handle is not None  # retry window armed
+        storage.fault_hook = None               # disk heals
+        await asyncio.sleep(0.12)               # retry window fires
+        assert not storage.pending_lazy
+
+    asyncio.run(go())
+    assert FileStableStorage(0, path).get("lazy") == "tail"
+
+
+def test_failing_window_flush_leaves_previous_image_intact(path):
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=0.05)
+        storage.put("durable", "old")
+        storage.fault_hook = _failing_hook([])
+        storage.put_lazy("lazy", "lost-on-crash")
+        await asyncio.sleep(0.12)
+        # SIGKILL here: reload sees the pre-fault image, not a torn one.
+
+    asyncio.run(go())
+    reborn = FileStableStorage(0, path)
+    assert reborn.get("durable") == "old"
+    assert reborn.get("lazy") is None
+
+
+def test_failing_barrier_propagates_to_the_caller(path):
+    """Synchronous barriers have no retry timer; the caller must see the
+    failure (and the dirty lazy tail must still not be dropped)."""
+    storage = FileStableStorage(0, path, flush_window=10.0)
+
+    async def go():
+        storage.put_lazy("lazy", "pending")
+        storage.fault_hook = _failing_hook([])
+        with pytest.raises(OSError, match="injected"):
+            storage.put("hard", "barrier")
+        assert storage.pending_lazy
+        storage.fault_hook = None
+        storage.sync()
+        assert not storage.pending_lazy
+
+    asyncio.run(go())
+    reborn = FileStableStorage(0, path)
+    assert reborn.get("lazy") == "pending"
+    assert reborn.get("hard") == "barrier"      # base mutation re-hardened
+
+
+def test_node_faults_fail_mode_spares_sync_barriers(path):
+    """The live injector only fails *window* persists: a sync barrier
+    during the fault window still lands (a disk that fails barriers is a
+    crashed node, which SIGKILL injection already models)."""
+    cfg = LiveFaultPlan(
+        disk_faults=(LiveDiskFaultPlan(0, 0.0, 10.0, mode="fail"),),
+    ).for_node(0, 3)
+    faults = NodeFaults(0, cfg)
+    faults.set_clock(lambda: 1.0)
+
+    async def go():
+        storage = FileStableStorage(0, path, flush_window=0.05)
+        storage.fault_hook = faults.disk_fault
+        storage.put("hard", "barrier")          # window=False: passes
+        storage.put_lazy("lazy", "tail")
+        await asyncio.sleep(0.12)               # window=True: fails
+        assert storage.pending_lazy
+        storage.sync()                          # barrier flushes the tail
+        assert not storage.pending_lazy
+
+    asyncio.run(go())
+    assert faults.counters()["disk_fault_failures"] >= 1
+    reborn = FileStableStorage(0, path)
+    assert reborn.get("hard") == "barrier"
+    assert reborn.get("lazy") == "tail"
+
+
+# ---------------------------------------------------------------------------
+# "stall" semantics
+# ---------------------------------------------------------------------------
+def test_stall_mode_delays_but_completes_every_persist(path):
+    cfg = LiveFaultPlan(
+        disk_faults=(
+            LiveDiskFaultPlan(0, 0.0, 10.0, mode="stall", stall=0.05),
+        ),
+    ).for_node(0, 3)
+    faults = NodeFaults(0, cfg)
+    faults.set_clock(lambda: 1.0)
+    storage = FileStableStorage(0, path)
+    storage.fault_hook = faults.disk_fault
+    start = time.monotonic()
+    storage.put("k", "v")
+    assert time.monotonic() - start >= 0.05
+    assert faults.counters()["disk_fault_stalls"] == 1
+    assert FileStableStorage(0, path).get("k") == "v"
+
+
+def test_crash_during_stall_leaves_previous_image_reloadable(path):
+    """A stall happens *before* the tmp-file write begins, and the write
+    itself goes through os.replace -- so dying at any point during a
+    stalled persist leaves the previous durable image intact."""
+    storage = FileStableStorage(0, path)
+    storage.put("k", "old")
+
+    def hook(*, window):
+        raise KeyboardInterrupt  # stand-in for dying mid-stall
+
+    storage.fault_hook = hook
+    with pytest.raises(KeyboardInterrupt):
+        storage.put("k", "new")
+    # The in-memory mutation happened but nothing reached the file.
+    reborn = FileStableStorage(0, path)
+    assert reborn.get("k") == "old"

@@ -22,7 +22,14 @@ Subcommands:
                   fsyncs), emitting ``BENCH_wire.json``;
 - ``load``     -- open-loop load generator: one live cluster per offered
                   rate, honest p50/p99 latency-vs-offered-load curves,
-                  emitting ``BENCH_load.json``.
+                  emitting ``BENCH_load.json``;
+- ``serve``    -- boot the sharded multi-tenant KV service
+                  (``repro.service``): S independent recovery domains,
+                  printed client endpoints, per-shard crash schedules;
+- ``service-bench`` -- closed-loop user simulator (concurrent sessions,
+                  Zipfian keys) over the service while replicas are
+                  SIGKILLed: exactly-once audit, per-shard unavailability
+                  and stale-read windows, ``BENCH_service.json``.
 
 Examples::
 
@@ -37,6 +44,8 @@ Examples::
     python -m repro stress --live --schedules 3
     python -m repro live -n 3 --jobs 9 --no-crash --faults --fault-seed 7
     python -m repro exec-bench --schedules 200 --jobs 4
+    python -m repro serve --shards 2 --run-seconds 10
+    python -m repro service-bench --shards 2 --sessions 200
 """
 
 from __future__ import annotations
@@ -93,6 +102,101 @@ def _parse_crashes(specs: list[str]) -> CrashPlan | None:
         downtime = float(parts[2]) if len(parts) == 3 else 2.0
         plan.crash(time, pid, downtime)
     return plan
+
+
+# ---------------------------------------------------------------------------
+# Shared argument groups.  Subcommands compose these helpers so the same
+# concept always spells the same flag (locked by the --help snapshot in
+# tests/test_cli_surface.py); defaults stay per-subcommand where they
+# legitimately differ.
+# ---------------------------------------------------------------------------
+def _add_n(
+    parser: argparse.ArgumentParser,
+    *,
+    default: int | None = 4,
+    required: bool = False,
+    help: str | None = None,
+) -> None:
+    if required:
+        parser.add_argument("-n", type=int, required=True, help=help)
+    else:
+        parser.add_argument("-n", type=int, default=default, help=help)
+
+
+def _add_seed(
+    parser: argparse.ArgumentParser,
+    *,
+    default: int | None = 0,
+    help: str | None = None,
+) -> None:
+    parser.add_argument("--seed", type=int, default=default, help=help)
+
+
+def _add_out(
+    parser: argparse.ArgumentParser,
+    default: str | None,
+    *,
+    help: str | None = None,
+) -> None:
+    parser.add_argument("--out", default=default, metavar="PATH", help=help)
+
+
+def _add_workdir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workdir", default=None,
+                        help="keep run artifacts here (default: temp dir)")
+
+
+def _add_cluster_shape(
+    parser: argparse.ArgumentParser, *, jobs: int, run_seconds: float
+) -> None:
+    parser.add_argument("--jobs", type=int, default=jobs)
+    parser.add_argument("--run-seconds", type=float, default=run_seconds)
+
+
+def _add_crash_specs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--crash", action="append", default=[],
+                        metavar="TIME:PID[:DOWN]")
+
+
+def _add_service_cluster(
+    parser: argparse.ArgumentParser, *, run_seconds: float = 12.0
+) -> None:
+    """Topology/failure flags shared by ``serve`` and ``service-bench``."""
+    parser.add_argument("--shards", type=_positive_int, default=2)
+    parser.add_argument("--nodes-per-shard", type=_positive_int, default=4,
+                        help="1 gateway + N-1 replicas per shard")
+    parser.add_argument("--run-seconds", type=float, default=run_seconds,
+                        help="cap on the run; the bench stops the shards "
+                             "as soon as the workload and audit complete")
+    parser.add_argument("--crash-at", type=float, default=2.0,
+                        help="env-time of each shard's replica SIGKILL")
+    parser.add_argument("--downtime", type=float, default=0.75)
+    parser.add_argument("--no-crash", action="store_true",
+                        help="skip the per-shard SIGKILL")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="draw a seeded network/disk fault plan per "
+                             "shard (default: no faults)")
+    _add_workdir(parser)
+
+
+def _service_config(args: argparse.Namespace) -> "object":
+    from repro.service import ServiceConfig
+
+    workload = {}
+    for name in ("sessions", "ops_per_session", "keys", "put_ratio",
+                 "zipf_s", "seed", "request_timeout"):
+        if hasattr(args, name):
+            workload[name] = getattr(args, name)
+    return ServiceConfig(
+        shards=args.shards,
+        nodes_per_shard=args.nodes_per_shard,
+        run_seconds=args.run_seconds,
+        crash_replicas=not args.no_crash,
+        crash_at=args.crash_at,
+        downtime=args.downtime,
+        fault_seed=args.fault_seed,
+        **workload,
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -625,6 +729,95 @@ def cmd_load(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the sharded KV service and run it for --run-seconds."""
+    import tempfile
+
+    from repro.service import ShardManager
+    from repro.service.bench import check_shard_trace
+
+    config = _service_config(args)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-serve-")
+    manager = ShardManager(config, workdir)
+    print(
+        f"booting {config.shards} shard(s) x {config.nodes_per_shard} "
+        f"node(s) in {workdir}"
+    )
+    manager.start()
+    manager.wait_ready()
+    print(f"routing : v{manager.routing.version}, "
+          f"{manager.routing.shards} shard(s)")
+    for ep in manager.endpoints():
+        print(
+            f"  shard {ep.shard}: ingress {ep.host}:{ep.ingress_port}  "
+            f"replies {list(ep.reply_ports)}"
+        )
+    print(f"serving for {config.run_seconds}s ...")
+    results = manager.join()
+    ok = True
+    for shard in sorted(results):
+        result = results[shard]
+        for pid, kill_time in result.kills:
+            print(f"  shard {shard}: SIGKILL -> p{pid} "
+                  f"at t={kill_time:.3f}s")
+        oracle = check_shard_trace(result.trace)
+        verdict = "ok" if oracle["ok"] else "ORACLE FAIL"
+        print(
+            f"  shard {shard}: {verdict} "
+            f"({oracle['crashes']} crash(es), "
+            f"{oracle['restarts']} restart(s), "
+            f"{oracle['tokens']} token(s))"
+        )
+        for failure in oracle["failures"]:
+            print(f"    - {failure}")
+        ok = ok and oracle["ok"]
+    return 0 if ok else 1
+
+
+def cmd_service_bench(args: argparse.Namespace) -> int:
+    """Closed-loop user simulator over the service; BENCH_service.json."""
+    import tempfile
+
+    from repro.service import check_service_payload, write_service_bench
+
+    config = _service_config(args)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-service-")
+    payload = write_service_bench(args.out, workdir, config)
+    exactly_once = payload["exactly_once"]
+    print(
+        f"ops: {payload['ops_total'] - payload['ops_failed']}"
+        f"/{payload['ops_total']} completed, "
+        f"{payload['puts_acked']} put(s) acked"
+    )
+    print(
+        f"exactly-once: "
+        f"{'VERIFIED' if exactly_once['verified'] else 'FAILED'} "
+        f"({exactly_once['audited_keys']} key(s) audited, "
+        f"{len(exactly_once['mismatches'])} mismatch(es), "
+        f"{exactly_once['monotonicity_violations']} monotonicity "
+        f"violation(s))"
+    )
+    for shard, report in sorted(payload["per_shard"].items()):
+        unavailable = report["unavailability"]
+        stale = report["stale_reads"]
+        latency = report["latency_s"]
+        oracle = report.get("oracle", {})
+        print(
+            f"shard {shard}: {report['ops']} ops "
+            f"(p50={latency['p50']}s p99={latency['p99']}s), "
+            f"{report['retries']} retries -- "
+            f"unavailable {unavailable['total_s']}s over "
+            f"{unavailable['windows']} window(s), "
+            f"stale {stale['total_s']}s over {stale['events']} event(s), "
+            f"oracle {'ok' if oracle.get('ok') else 'FAIL'}"
+        )
+    print(f"written: {args.out}")
+    problems = check_service_payload(payload)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -637,11 +830,10 @@ def build_parser() -> argparse.ArgumentParser:
                             default="damani-garg")
     run_parser.add_argument("--workload", choices=sorted(WORKLOADS),
                             default="routing")
-    run_parser.add_argument("-n", type=int, default=4)
-    run_parser.add_argument("--seed", type=int, default=0)
+    _add_n(run_parser)
+    _add_seed(run_parser)
     run_parser.add_argument("--horizon", type=float, default=100.0)
-    run_parser.add_argument("--crash", action="append", default=[],
-                            metavar="TIME:PID[:DOWN]")
+    _add_crash_specs(run_parser)
     run_parser.add_argument("--fifo", action="store_true",
                             help="force FIFO channels")
     run_parser.add_argument("--checkpoint-interval", type=float, default=8.0)
@@ -651,7 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=cmd_run)
 
     t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
-    t1.add_argument("-n", type=int, default=4)
+    _add_n(t1)
     t1.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     t1.add_argument("--jobs", type=_positive_int, default=1,
                     help="measure protocol rows in parallel")
@@ -667,11 +859,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="instrumented run: JSON-lines trace + metrics summary",
     )
     trace.add_argument("scenario", choices=sorted(SCENARIOS))
-    trace.add_argument("--seed", type=int, default=None,
-                       help="override the scenario's default seed")
-    trace.add_argument("--out", default=None,
-                       metavar="PATH",
-                       help="trace output path (default trace_<scenario>.jsonl)")
+    _add_seed(trace, default=None,
+              help="override the scenario's default seed")
+    _add_out(trace, None,
+             help="trace output path (default trace_<scenario>.jsonl)")
     trace.set_defaults(func=cmd_trace)
 
     bench = sub.add_parser(
@@ -680,9 +871,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("scenario", nargs="?", default="quickstart",
                        choices=sorted(SCENARIOS))
-    bench.add_argument("--seed", type=int, default=None)
+    _add_seed(bench, default=None)
     bench.add_argument("--repeats", type=_positive_int, default=3)
-    bench.add_argument("--out", default="BENCH_obs.json", metavar="PATH")
+    _add_out(bench, "BENCH_obs.json")
     bench.add_argument("--jobs", type=_positive_int, default=1,
                        help="run repeats (and matrix cells) in parallel")
     bench.add_argument("--matrix", action="store_true",
@@ -697,8 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stress.add_argument("--schedules", type=_positive_int, default=500,
                         help="number of generated schedules (default 500)")
-    stress.add_argument("--seed", type=int, default=0,
-                        help="base seed; schedule i uses seed+i")
+    _add_seed(stress, help="base seed; schedule i uses seed+i")
     stress.add_argument("--profile", choices=sorted(STRESS_PROFILES),
                         default="default")
     stress.add_argument("--out-dir", default=None, metavar="DIR",
@@ -730,29 +920,26 @@ def build_parser() -> argparse.ArgumentParser:
     exec_bench.add_argument("--jobs", type=_positive_int, default=4)
     exec_bench.add_argument("--profile", choices=sorted(STRESS_PROFILES),
                             default="quick")
-    exec_bench.add_argument("--seed", type=int, default=0)
-    exec_bench.add_argument("--out", default="BENCH_exec.json",
-                            metavar="PATH")
+    _add_seed(exec_bench)
+    _add_out(exec_bench, "BENCH_exec.json")
     exec_bench.add_argument("--min-speedup", type=float, default=None,
                             help="fail unless speedup reaches this floor")
     exec_bench.set_defaults(func=cmd_exec_bench)
 
     overhead = sub.add_parser("overhead",
                               help="Section 6.9 overhead report")
-    overhead.add_argument("-n", type=int, default=4)
-    overhead.add_argument("--seed", type=int, default=0)
+    _add_n(overhead)
+    _add_seed(overhead)
     overhead.add_argument("--horizon", type=float, default=100.0)
-    overhead.add_argument("--crash", action="append", default=[],
-                          metavar="TIME:PID[:DOWN]")
+    _add_crash_specs(overhead)
     overhead.set_defaults(func=cmd_overhead)
 
     live = sub.add_parser(
         "live",
         help="run a real asyncio/TCP cluster with SIGKILL crashes",
     )
-    live.add_argument("-n", type=int, default=4)
-    live.add_argument("--jobs", type=int, default=32)
-    live.add_argument("--run-seconds", type=float, default=6.0)
+    _add_n(live)
+    _add_cluster_shape(live, jobs=32, run_seconds=6.0)
     live.add_argument("--crash-pid", type=int, default=1)
     live.add_argument("--crash-at", type=float, default=0.25)
     live.add_argument("--downtime", type=float, default=1.0)
@@ -764,8 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "drawn from --fault-seed")
     live.add_argument("--fault-seed", type=int, default=0,
                       help="seed for the generated fault schedule")
-    live.add_argument("--workdir", default=None,
-                      help="keep run artifacts here (default: temp dir)")
+    _add_workdir(live)
     live.set_defaults(func=cmd_live)
 
     rollback = sub.add_parser(
@@ -775,8 +961,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rollback.add_argument("--data-dir", required=True,
                           help="the cluster's stable-storage directory")
-    rollback.add_argument("-n", type=int, required=True,
-                          help="cluster size (stable_p0..p{n-1})")
+    _add_n(rollback, required=True,
+           help="cluster size (stable_p0..p{n-1})")
     frontier = rollback.add_mutually_exclusive_group(required=True)
     frontier.add_argument("--at", type=float, default=None,
                           help="anchor: latest checkpoint at or before "
@@ -797,37 +983,35 @@ def build_parser() -> argparse.ArgumentParser:
         "live-bench",
         help="live throughput/latency benchmark (BENCH_live.json)",
     )
-    live_bench.add_argument("-n", type=int, default=4)
-    live_bench.add_argument("--jobs", type=int, default=64)
-    live_bench.add_argument("--run-seconds", type=float, default=6.0)
-    live_bench.add_argument("--out", default="BENCH_live.json")
-    live_bench.add_argument("--workdir", default=None)
+    _add_n(live_bench)
+    _add_cluster_shape(live_bench, jobs=64, run_seconds=6.0)
+    _add_out(live_bench, "BENCH_live.json")
+    _add_workdir(live_bench)
     live_bench.set_defaults(func=cmd_live_bench)
 
     wire_bench = sub.add_parser(
         "wire-bench",
         help="wire/storage fast-path benchmark (BENCH_wire.json)",
     )
-    wire_bench.add_argument("-n", type=int, default=4)
-    wire_bench.add_argument("--jobs", type=int, default=64)
-    wire_bench.add_argument("--run-seconds", type=float, default=6.0)
-    wire_bench.add_argument("--seed", type=int, default=None,
-                            help="stress-mix seed for the piggyback section")
+    _add_n(wire_bench)
+    _add_cluster_shape(wire_bench, jobs=64, run_seconds=6.0)
+    _add_seed(wire_bench, default=None,
+              help="stress-mix seed for the piggyback section")
     wire_bench.add_argument("--skip-live", action="store_true",
                             help="piggyback section only (no TCP clusters)")
     wire_bench.add_argument("--min-piggyback-reduction", type=float,
                             default=None, metavar="FACTOR",
                             help="fail unless delta clocks shrink piggyback "
                                  "bytes/msg by at least this factor")
-    wire_bench.add_argument("--out", default="BENCH_wire.json")
-    wire_bench.add_argument("--workdir", default=None)
+    _add_out(wire_bench, "BENCH_wire.json")
+    _add_workdir(wire_bench)
     wire_bench.set_defaults(func=cmd_wire_bench)
 
     load = sub.add_parser(
         "load",
         help="open-loop load sweep over live clusters (BENCH_load.json)",
     )
-    load.add_argument("-n", type=int, default=4)
+    _add_n(load)
     load.add_argument("--rates", type=float, nargs="+",
                       default=[250.0, 500.0, 1000.0, 2000.0],
                       help="offered job rates to sweep (jobs/sec)")
@@ -835,8 +1019,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="seconds of offered load per scenario")
     load.add_argument("--start-at", type=float, default=0.25,
                       help="env-time of the first injection")
-    load.add_argument("--out", default="BENCH_load.json")
-    load.add_argument("--workdir", default=None)
+    _add_out(load, "BENCH_load.json")
+    _add_workdir(load)
     load.add_argument("--min-deliveries-per-sec", type=float, default=0.0,
                       help="fail unless the sweep's best scenario reaches "
                            "this active-window throughput")
@@ -846,6 +1030,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fail if peak throughput collapses vs the "
                            "trend file's best recorded row")
     load.set_defaults(func=cmd_load)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the sharded KV service (repro.service) and run it",
+    )
+    _add_service_cluster(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    service_bench = sub.add_parser(
+        "service-bench",
+        help="closed-loop user simulator over the sharded service "
+             "(BENCH_service.json)",
+    )
+    _add_service_cluster(service_bench, run_seconds=150.0)
+    service_bench.add_argument("--sessions", type=_positive_int, default=200,
+                               help="concurrent closed-loop user sessions")
+    service_bench.add_argument("--ops-per-session", type=_positive_int,
+                               default=20)
+    service_bench.add_argument("--keys", type=_positive_int, default=64)
+    service_bench.add_argument("--put-ratio", type=float, default=0.6)
+    service_bench.add_argument("--zipf-s", type=float, default=1.1,
+                               help="Zipf skew of the key popularity")
+    _add_seed(service_bench, help="workload seed (session op streams)")
+    service_bench.add_argument("--request-timeout", type=float, default=0.4,
+                               help="per-attempt reply timeout before a "
+                                    "same-op-id retry")
+    _add_out(service_bench, "BENCH_service.json")
+    service_bench.set_defaults(func=cmd_service_bench)
     return parser
 
 

@@ -16,7 +16,15 @@ replayable.
   the consistency examples.
 - :class:`~repro.apps.applications.PipelineApp` -- a staged pipeline with
   environment outputs at the sink (output-commit demo).
+
+The kvstore names resolve lazily: :mod:`repro.apps.kvstore` imports its
+wire types from :mod:`repro.service.kv` (their canonical home since the
+service API redesign), and that module in turn depends on
+:mod:`repro.apps.applications` -- resolving kvstore at first attribute
+access instead of package-import time keeps the cycle open.
 """
+
+import warnings
 
 from repro.apps.applications import (
     BankApp,
@@ -28,15 +36,6 @@ from repro.apps.applications import (
     Transfer,
     WorkItem,
     mix64,
-)
-from repro.apps.kvstore import (
-    ClientState,
-    KVGet,
-    KVPut,
-    KVReplicate,
-    KVReply,
-    KVStoreApp,
-    ReplicaState,
 )
 
 __all__ = [
@@ -57,3 +56,31 @@ __all__ = [
     "WorkItem",
     "mix64",
 ]
+
+#: Deprecated re-exports: the wire types now live in repro.service.kv.
+_MOVED_WIRE_TYPES = frozenset({"KVPut", "KVGet", "KVReplicate", "KVReply"})
+#: Still canonical here, just resolved lazily (cycle: kvstore -> service.kv
+#: -> apps.applications -> this package).
+_KVSTORE_NAMES = frozenset({"ClientState", "KVStoreApp", "ReplicaState"})
+
+
+def __getattr__(name: str):
+    if name in _MOVED_WIRE_TYPES:
+        warnings.warn(
+            f"repro.apps.{name} moved to repro.service.kv; update the "
+            "import (the shim will be removed in the next major version)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.service.kv as kv
+
+        return getattr(kv, name)
+    if name in _KVSTORE_NAMES:
+        import repro.apps.kvstore as kvstore
+
+        return getattr(kvstore, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -19,47 +19,52 @@ invariants to check after crashes and rollbacks:
   (without it, a replicate update received-but-unlogged at a crash can be
   lost forever, and replicas may diverge -- a behaviour the kvstore
   example demonstrates deliberately).
+
+.. deprecated:: 1.0
+    The wire types (``KVPut``, ``KVGet``, ``KVReplicate``, ``KVReply``)
+    and ``hash_key`` were promoted to :mod:`repro.service.kv`, where the
+    client-facing service serves them.  Importing them from here still
+    works through shims that emit ``DeprecationWarning``; see
+    ``docs/API.md`` for the migration table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Any
 
 from repro.apps.applications import mix64
 from repro.runtime.app import ProcessContext
+from repro.service.kv import KVGet as _KVGet
+from repro.service.kv import KVPut as _KVPut
+from repro.service.kv import KVReplicate as _KVReplicate
+from repro.service.kv import KVReply as _KVReply
+from repro.service.kv import hash_key
+
+#: Wire-type shims: the canonical definitions live in repro.service.kv;
+#: attribute access through this module warns (module __getattr__ below).
+_MOVED_TO_SERVICE = {
+    "KVPut": _KVPut,
+    "KVGet": _KVGet,
+    "KVReplicate": _KVReplicate,
+    "KVReply": _KVReply,
+}
 
 
-# ---------------------------------------------------------------------------
-# Wire types
-# ---------------------------------------------------------------------------
-@dataclass(frozen=True)
-class KVPut:
-    key: str
-    value: int
-    op_id: tuple[int, int]          # (client pid, client op seq)
-
-
-@dataclass(frozen=True)
-class KVGet:
-    key: str
-    op_id: tuple[int, int]
-
-
-@dataclass(frozen=True)
-class KVReplicate:
-    key: str
-    value: int
-    version: int
-    op_id: tuple[int, int]
-
-
-@dataclass(frozen=True)
-class KVReply:
-    op_id: tuple[int, int]
-    key: str
-    value: int | None
-    version: int
+def __getattr__(name: str):
+    cls = _MOVED_TO_SERVICE.get(name)
+    if cls is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.apps.kvstore.{name} moved to repro.service.kv; "
+        "update the import (the shim will be removed in the next major "
+        "version)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return cls
 
 
 # ---------------------------------------------------------------------------
@@ -74,9 +79,11 @@ class ReplicaState:
     applied: int = 0
 
     def lookup(self, key: str) -> tuple[int, int] | None:
-        for k, entry in self.data:
-            if k == key:
-                return entry
+        # Binary search: ``(key,)`` sorts immediately before
+        # ``(key, entry)``, so bisect_left lands on the entry if present.
+        i = bisect_left(self.data, (key,))
+        if i < len(self.data) and self.data[i][0] == key:
+            return self.data[i][1]
         return None
 
     def store(self, key: str, value: int, version: int) -> "ReplicaState":
@@ -166,7 +173,7 @@ class KVStoreApp:
     def _replica_handle(
         self, state: ReplicaState, payload: Any, ctx: ProcessContext
     ) -> ReplicaState:
-        if isinstance(payload, KVPut):
+        if isinstance(payload, _KVPut):
             current = state.lookup(payload.key)
             version = (current[1] if current else 0) + 1
             new_state = state.store(payload.key, payload.value, version)
@@ -174,7 +181,7 @@ class KVStoreApp:
                 if replica != ctx.pid:
                     ctx.send(
                         replica,
-                        KVReplicate(
+                        _KVReplicate(
                             key=payload.key,
                             value=payload.value,
                             version=version,
@@ -183,7 +190,7 @@ class KVStoreApp:
                     )
             ctx.send(
                 payload.op_id[0],
-                KVReply(
+                _KVReply(
                     op_id=payload.op_id,
                     key=payload.key,
                     value=payload.value,
@@ -191,17 +198,17 @@ class KVStoreApp:
                 ),
             )
             return new_state
-        if isinstance(payload, KVReplicate):
+        if isinstance(payload, _KVReplicate):
             current = state.lookup(payload.key)
             if current is None or payload.version > current[1]:
                 return state.store(payload.key, payload.value, payload.version)
             return ReplicaState(data=state.data, applied=state.applied + 1)
-        if isinstance(payload, KVGet):
+        if isinstance(payload, _KVGet):
             current = state.lookup(payload.key)
             value, version = current if current else (None, 0)
             ctx.send(
                 payload.op_id[0],
-                KVReply(
+                _KVReply(
                     op_id=payload.op_id,
                     key=payload.key,
                     value=value,
@@ -213,9 +220,9 @@ class KVStoreApp:
 
     # -- client side ----------------------------------------------------
     def _client_handle(
-        self, state: ClientState, payload: KVReply, ctx: ProcessContext
+        self, state: ClientState, payload: Any, ctx: ProcessContext
     ) -> ClientState:
-        if not isinstance(payload, KVReply):
+        if not isinstance(payload, _KVReply):
             raise TypeError(f"client got {payload!r}")
         new_state = state.observe(payload.key, payload.version)
         acc = mix64(new_state.acc, payload.version)
@@ -237,21 +244,13 @@ class KVStoreApp:
         key = f"k{h % self.keys}"
         primary = self.primary_for(key)
         if h % 3 < self.put_ratio:
-            ctx.send(primary, KVPut(key=key, value=h & 0xFFFF,
-                                    op_id=(pid, seq)))
+            ctx.send(primary, _KVPut(key=key, value=h & 0xFFFF,
+                                     op_id=(pid, seq)))
         else:
-            ctx.send(primary, KVGet(key=key, op_id=(pid, seq)))
+            ctx.send(primary, _KVGet(key=key, op_id=(pid, seq)))
         return ClientState(
             ops_sent=seq + 1,
             replies=state.replies,
             acc=state.acc,
             observed=state.observed,
         )
-
-
-def hash_key(key: str) -> int:
-    """Stable (non-salted) string hash for key placement."""
-    value = 0
-    for ch in key:
-        value = mix64(value, ord(ch))
-    return value

@@ -68,6 +68,10 @@ def build_app(spec: dict[str, Any]):
         from repro.live.load import LoadPipelineApp
 
         return LoadPipelineApp(jobs=int(spec.get("jobs", 32)))
+    if kind == "kv":
+        from repro.service.kv import KVServiceApp
+
+        return KVServiceApp(replicas=int(spec.get("replicas", 3)))
     raise ValueError(f"unknown app kind {kind!r}")
 
 
@@ -159,9 +163,9 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
     # times compose on one timeline.
     faults.set_clock(lambda: env.now)
     protocol_cls = PROTOCOL_REGISTRY[cfg.get("protocol", "damani-garg")]
+    app = build_app(cfg.get("app", {}))
     protocol = protocol_cls(
-        env, build_app(cfg.get("app", {})),
-        ProtocolConfig(**cfg.get("config", {})),
+        env, app, ProtocolConfig(**cfg.get("config", {})),
     )
     if boot == 1:
         protocol.on_start()
@@ -185,17 +189,34 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
             start_at=float(app_spec.get("start_at", 0.25)),
         )
         source.start()
+    service = None
+    if app_spec.get("kind") == "kv":
+        from repro.service.gateway import ServicePort
+
+        service = ServicePort(pid, protocol, app, app_spec)
+        await service.start()
 
     # The deadline runs on the env clock (monotonic since the anchor), so
     # a wall-clock step mid-run cannot stretch or truncate the schedule.
-    await asyncio.sleep(max(0.0, float(cfg["run_until"]) - env.now))
+    # An optional stop file turns the deadline into a cap: the node ends
+    # its run phase as soon as the supervisor's owner publishes the file.
+    run_until = float(cfg["run_until"])
+    stop_path = cfg.get("stop_path")
+    while env.now < run_until:
+        if stop_path and os.path.exists(stop_path):
+            break
+        await asyncio.sleep(min(0.05, max(0.005, run_until - env.now)))
     if source is not None:
         source.stop()
     protocol.halt_periodic_tasks()
     # Let in-flight traffic (including our own retransmissions) settle.
+    # The service port stays open through the linger so clients can drain
+    # replies that recovery replay re-emits.
     linger_until = time.monotonic() + float(cfg.get("linger", 1.5))
     while time.monotonic() < linger_until:
         await asyncio.sleep(0.1)
+    if service is not None:
+        await service.stop()
 
     stats = dataclasses.asdict(protocol.stats)
     stats["rollbacks_per_failure"] = {
@@ -237,6 +258,8 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
     }
     if source is not None:
         done["load"] = source.report()
+    if service is not None:
+        done["service"] = service.report()
     # Harden any lazy writes still inside the group-commit window before
     # reporting success (the done file implies a clean shutdown).
     storage.sync()

@@ -98,6 +98,12 @@ class LiveClusterSpec:
     # Group-commit window for lazy storage writes (outbox bookkeeping);
     # 0 restores one fsync per mutation.
     storage_flush_window: float = 0.05
+    # Cooperative early stop: when set, every node polls this path and
+    # ends its run phase as soon as the file exists, making
+    # ``run_seconds`` a *cap* rather than a fixed duration.  The service
+    # bench uses it to stop shards the moment the closed-loop workload
+    # and its audit complete, whatever the machine's speed.
+    stop_path: str | None = None
     # Decentralised stability: gossip frontiers and run GC/compaction
     # locally.  Off by default so existing runs keep their storage
     # profile byte-for-byte.
@@ -235,6 +241,7 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
             "ports": ports,
             "epoch_path": epoch_path,
             "run_until": spec.run_seconds,
+            "stop_path": spec.stop_path,
             "linger": spec.linger,
             "protocol": spec.protocol,
             "app": (

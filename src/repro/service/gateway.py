@@ -1,0 +1,214 @@
+"""The client-facing TCP endpoint a live node hosts for its shard.
+
+One :class:`ServicePort` runs inside each node of a ``kind="kv"`` live
+cluster (see :mod:`repro.live.node`), in one of two roles:
+
+- **ingress** (pid 0, the gateway): accepts client connections, reads
+  framed JSON requests, and hands each to the protocol via
+  ``inject_app_send`` addressed to the key's primary replica.  The
+  gateway never receives app messages back, so it is never rolled back
+  and its send log is the shard's durable intake ledger (Remark-1
+  retransmission replays it to a recovering primary).
+- **reply** (replica pids): forwards the replica's application outputs
+  (:class:`~repro.service.kv.KVReply`, emitted by ``ctx.output``) to
+  every connected client as framed JSON.  Outputs are the one legal exit
+  path for replies -- a ``ctx.send`` back to pid 0 would make the
+  gateway rollback-able.  The forwarder tails ``protocol.outputs`` from
+  index 0 on every boot: after a crash the checkpoint-restored prefix is
+  re-forwarded, and clients drop acks for ops no longer pending.
+
+The wire format is the cluster's own length-prefixed CRC framing
+(:mod:`repro.live.framing`) carrying plain JSON objects, so clients need
+no codec knowledge:
+
+- request:  ``{"op": "put"|"get", "session": int, "seq": int,
+  "key": str, "value": int}`` (``value`` ignored for gets);
+- reply:    ``{"session": int, "seq": int, "key": str,
+  "value": int|null, "version": int}``;
+- hello (server -> client, once per connection):
+  ``{"role": "ingress"|"reply", "shard": int, "pid": int,
+  "routing_version": int}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.live.framing import frame, read_frame
+from repro.service.kv import KVGet, KVPut, KVReply, KVServiceApp
+
+#: How often the reply forwarder tails ``protocol.outputs`` (seconds).
+_FORWARD_INTERVAL = 0.005
+
+
+def _encode(obj: dict[str, Any]) -> bytes:
+    return frame(json.dumps(obj, separators=(",", ":")).encode("utf-8"))
+
+
+class ServicePort:
+    """One node's client-facing port (ingress or reply role)."""
+
+    def __init__(
+        self,
+        pid: int,
+        protocol: Any,
+        app: KVServiceApp,
+        spec: dict[str, Any],
+    ) -> None:
+        self.pid = pid
+        self.protocol = protocol
+        self.app = app
+        self.spec = spec
+        if pid == 0:
+            self.role = "ingress"
+            self.port = int(spec["ingress_port"])
+        elif app.is_replica(pid):
+            self.role = "reply"
+            self.port = int(spec["reply_ports"][pid - 1])
+        else:
+            self.role = "none"
+            self.port = 0
+        self.host = str(spec.get("service_host", "127.0.0.1"))
+        self._server: asyncio.AbstractServer | None = None
+        self._forward_task: asyncio.Task | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._forwarded = 0
+        self.requests = 0
+        self.puts = 0
+        self.gets = 0
+        self.rejected = 0
+        self.connections = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the port and (for replicas) start tailing outputs."""
+        if self.role == "none":
+            return
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        if self.role == "reply":
+            self._forward_task = asyncio.ensure_future(self._forward_loop())
+
+    async def stop(self) -> None:
+        """Tear the port down; a final tail pass drains pending replies."""
+        if self._forward_task is not None:
+            self._forward_replies()   # don't strand replies in the tail
+            self._forward_task.cancel()
+            self._forward_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    def report(self) -> dict[str, Any]:
+        """Counters for the node's done file."""
+        return {
+            "role": self.role,
+            "port": self.port,
+            "connections": self.connections,
+            "requests": self.requests,
+            "puts": self.puts,
+            "gets": self.gets,
+            "rejected": self.rejected,
+            "replies_forwarded": self._forwarded,
+        }
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            writer.write(
+                _encode(
+                    {
+                        "role": self.role,
+                        "shard": int(self.spec.get("shard", 0)),
+                        "pid": self.pid,
+                        "routing_version": int(
+                            self.spec.get("routing_version", 1)
+                        ),
+                    }
+                )
+            )
+            await writer.drain()
+            if self.role == "reply":
+                self._writers.add(writer)
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    break
+                if self.role == "ingress":
+                    self._on_request(payload)
+                # Reply connections are one-way; inbound frames ignored.
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    def _on_request(self, raw: bytes) -> None:
+        try:
+            msg = json.loads(raw.decode("utf-8"))
+            op = msg["op"]
+            op_id = (int(msg["session"]), int(msg["seq"]))
+            key = str(msg["key"])
+            if op == "put":
+                payload: Any = KVPut(
+                    key=key, value=int(msg["value"]), op_id=op_id
+                )
+            elif op == "get":
+                payload = KVGet(key=key, op_id=op_id)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except (KeyError, ValueError, TypeError, UnicodeDecodeError):
+            self.rejected += 1
+            return
+        self.requests += 1
+        if isinstance(payload, KVPut):
+            self.puts += 1
+        else:
+            self.gets += 1
+        self.protocol.inject_app_send(
+            self.app.primary_for(key), payload
+        )
+
+    # ------------------------------------------------------------------
+    # Reply forwarding (replica role)
+    # ------------------------------------------------------------------
+    def _forward_replies(self) -> None:
+        outputs = self.protocol.outputs
+        while self._forwarded < len(outputs):
+            _, value = outputs[self._forwarded]
+            self._forwarded += 1
+            if not isinstance(value, KVReply):
+                continue
+            data = _encode(
+                {
+                    "session": value.op_id[0],
+                    "seq": value.op_id[1],
+                    "key": value.key,
+                    "value": value.value,
+                    "version": value.version,
+                }
+            )
+            for writer in list(self._writers):
+                try:
+                    writer.write(data)
+                except (ConnectionError, RuntimeError):
+                    self._writers.discard(writer)
+
+    async def _forward_loop(self) -> None:
+        while True:
+            self._forward_replies()
+            await asyncio.sleep(_FORWARD_INTERVAL)

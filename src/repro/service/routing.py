@@ -1,0 +1,63 @@
+"""The versioned key -> shard routing table.
+
+One table describes the whole service: ``shards`` independent recovery
+domains, each a full damani-garg cluster, with keys placed by a stable
+hash.  The table is versioned so clients and operators can tell two
+epochs of the service apart (a resharding bumps the version; a client
+holding a stale table can detect it from the shard's hello frame).
+
+The shard hash is salted differently from the *intra-shard* primary
+placement hash (:meth:`~repro.service.kv.KVServiceApp.primary_for`), so
+key -> shard and key -> primary are independent mixes of the same stable
+key hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.apps.applications import mix64
+from repro.service.kv import hash_key
+
+#: Salt decorrelating shard placement from in-shard primary placement.
+_SHARD_SALT = 0x5EED
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Immutable, versioned key -> shard map."""
+
+    shards: int
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+        if self.version < 1:
+            raise ValueError("table versions start at 1")
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` under this table version."""
+        return mix64(hash_key(key), _SHARD_SALT) % self.shards
+
+    def reshard(self, shards: int) -> "RoutingTable":
+        """A successor table with a new shard count and bumped version."""
+        return RoutingTable(shards=shards, version=self.version + 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (written next to the shard workdirs)."""
+        return {
+            "format": "repro-routing-v1",
+            "version": self.version,
+            "shards": self.shards,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RoutingTable":
+        """Inverse of :meth:`to_dict`; rejects unknown formats."""
+        if payload.get("format") != "repro-routing-v1":
+            raise ValueError(f"unknown routing format {payload.get('format')!r}")
+        return cls(
+            shards=int(payload["shards"]), version=int(payload["version"])
+        )

@@ -122,6 +122,62 @@ class TestAppUnit:
         assert final.replies == 1
 
 
+class _CountingKey(str):
+    """A key that counts its comparisons (perf shape, not wall time)."""
+
+    comparisons = 0
+
+    def _count(op):
+        def compare(self, other):
+            _CountingKey.comparisons += 1
+            return getattr(str, op)(self, other)
+        return compare
+
+    __lt__ = _count("__lt__")
+    __gt__ = _count("__gt__")
+    __le__ = _count("__le__")
+    __ge__ = _count("__ge__")
+    __eq__ = _count("__eq__")
+    __hash__ = str.__hash__
+    del _count
+
+
+class TestLookupIsLogarithmic:
+    """``ReplicaState.lookup`` must binary-search, not scan.
+
+    The states are sorted tuples already; a linear scan costs O(keys)
+    comparisons per lookup, which multiplies into every put, get, and
+    replicate of every replay.  Counting key comparisons pins the
+    O(log n) shape without a timing-flaky benchmark.
+    """
+
+    KEYS = 1024
+
+    def _state(self):
+        data = tuple(
+            (_CountingKey(f"k{i:05d}"), (i, 1)) for i in range(self.KEYS)
+        )
+        return ReplicaState(data=data)
+
+    def test_hit_and_miss_cost_log_comparisons(self):
+        state = self._state()
+        budget = 64                      # ~6x log2(1024), far below 1024
+        for probe in ("k00000", "k00511", "k01023", "missing", "k005110"):
+            _CountingKey.comparisons = 0
+            state.lookup(probe)
+            assert _CountingKey.comparisons <= budget, (
+                probe, _CountingKey.comparisons
+            )
+
+    def test_results_match_the_dict_view(self):
+        state = self._state()
+        as_dict = state.as_dict()
+        for i in (0, 1, 511, 1022, 1023):
+            key = f"k{i:05d}"
+            assert state.lookup(key) == as_dict[key]
+        assert state.lookup("k99999") is None
+
+
 def run_kv(*, seed=0, crashes=None, retransmit=True, horizon=250.0,
            record=False):
     app = KVStoreApp(replicas=2, keys=6, ops_per_client=25)

@@ -66,3 +66,16 @@ def test_engines_do_not_import_each_other():
                     rel = os.path.relpath(path, SRC_ROOT)
                     violations.append(f"{rel} imports {module}")
     assert not violations, "; ".join(violations)
+
+
+def test_service_workload_half_is_engine_free():
+    """``repro.service.kv`` and ``repro.service.routing`` run under both
+    engines (the sim in tests, live in production shards), so neither
+    may import one -- the same rule the portable packages obey."""
+    violations = []
+    for module_file in ("kv.py", "routing.py"):
+        path = os.path.join(SRC_ROOT, "service", module_file)
+        for module in _imported_modules(path):
+            if module.startswith(FORBIDDEN_PREFIXES):
+                violations.append(f"service/{module_file} imports {module}")
+    assert not violations, "; ".join(violations)

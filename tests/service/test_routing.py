@@ -1,0 +1,72 @@
+"""Routing-table tests: stability, salting, versioning, serialisation.
+
+The table is the client's only notion of the service topology, so its
+key placement must be deterministic (every client agrees), independent
+of the in-shard primary placement (the salt), and round-trippable
+through JSON (clients can bootstrap from ``routing.json``).
+"""
+
+import pytest
+
+from repro.service import RoutingTable
+from repro.service.kv import KVServiceApp
+
+
+def test_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        RoutingTable(shards=0)
+
+
+def test_placement_is_deterministic_and_in_range():
+    table = RoutingTable(shards=5)
+    for i in range(200):
+        key = f"user:{i}"
+        shard = table.shard_for(key)
+        assert 0 <= shard < 5
+        assert shard == table.shard_for(key)
+
+
+def test_single_shard_maps_everything_to_zero():
+    table = RoutingTable(shards=1)
+    assert {table.shard_for(f"k{i}") for i in range(50)} == {0}
+
+
+def test_all_shards_get_keys():
+    table = RoutingTable(shards=4)
+    hits = {table.shard_for(f"key-{i}") for i in range(400)}
+    assert hits == {0, 1, 2, 3}
+
+
+def test_shard_salt_decouples_routing_from_primary_placement():
+    """Key -> shard must not correlate with key -> primary: without the
+    salt, every key landing on shard s would also land on the same
+    primary inside it, concentrating all load on one replica."""
+    table = RoutingTable(shards=3)
+    app = KVServiceApp(replicas=3)
+    primaries = {
+        app.primary_for(f"key-{i}")
+        for i in range(300)
+        if table.shard_for(f"key-{i}") == 0
+    }
+    assert primaries == {1, 2, 3}
+
+
+def test_reshard_bumps_version():
+    table = RoutingTable(shards=2)
+    grown = table.reshard(4)
+    assert grown.shards == 4
+    assert grown.version == table.version + 1
+
+
+def test_round_trip_through_dict():
+    table = RoutingTable(shards=3).reshard(6)
+    clone = RoutingTable.from_dict(table.to_dict())
+    assert clone == table
+    assert [clone.shard_for(f"k{i}") for i in range(50)] == [
+        table.shard_for(f"k{i}") for i in range(50)
+    ]
+
+
+def test_from_dict_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        RoutingTable.from_dict({"format": "not-routing", "shards": 2})

@@ -97,7 +97,73 @@ PUBLIC_MODULES = [
     "repro.runtime",
     "repro.runtime.env",
     "repro.live",
+    "repro.service",
 ]
+
+
+# The frozen client-facing service surface (see repro/service/__init__.py).
+# Removing or renaming any of these is a breaking change and must bump
+# the major version; additions belong here too so the freeze stays exact.
+FROZEN_SERVICE = [
+    "KVClient",
+    "KVGet",
+    "KVPut",
+    "KVReplicate",
+    "KVReply",
+    "KVServiceApp",
+    "KVSession",
+    "RoutingTable",
+    "ServiceConfig",
+    "ServiceReplicaState",
+    "ShardEndpoint",
+    "ShardManager",
+    "check_service_payload",
+    "run_service_bench",
+    "write_service_bench",
+]
+
+
+def test_service_all_is_frozen():
+    import repro.service
+
+    assert sorted(repro.service.__all__) == sorted(FROZEN_SERVICE)
+
+
+def test_service_surface_resolves_and_documents_itself():
+    import repro.service
+
+    for name in FROZEN_SERVICE:
+        obj = getattr(repro.service, name)
+        assert obj.__doc__, f"repro.service.{name} lacks a docstring"
+
+
+def test_kvstore_wire_types_are_the_service_ones():
+    """The deprecation shims must hand back the canonical classes, so
+    isinstance checks and codec round-trips agree across old and new
+    import paths."""
+    import warnings
+
+    import repro.service
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        import repro.apps.kvstore as kvstore
+
+        for name in ("KVPut", "KVGet", "KVReplicate", "KVReply"):
+            assert getattr(kvstore, name) is getattr(repro.service, name)
+
+
+def test_kvstore_wire_type_shim_warns():
+    import warnings
+
+    import repro.apps.kvstore as kvstore
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        kvstore.KVPut  # noqa: B018
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )
 
 
 # The frozen RuntimeEnv protocol surface: everything an engine must
@@ -139,7 +205,7 @@ def test_module_imports_and_documents_itself(module_name):
     "module_name",
     ["repro.analysis", "repro.apps", "repro.exec", "repro.harness",
      "repro.protocols", "repro.sim", "repro.storage", "repro.dsm",
-     "repro.core"],
+     "repro.core", "repro.service"],
 )
 def test_package_all_is_accurate(module_name):
     module = importlib.import_module(module_name)

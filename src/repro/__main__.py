@@ -465,6 +465,7 @@ def cmd_exec_bench(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         profile=args.profile,
         base_seed=args.seed,
+        budget_slots=args.budget_slots,
     )
     path = write_exec_bench_json(bench, args.out)
     print(bench.summary())
@@ -729,6 +730,60 @@ def cmd_load(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def cmd_scale_bench(args: argparse.Namespace) -> int:
+    """Piggyback scale sweep over live clusters; emit BENCH_scale.json."""
+    import tempfile
+
+    from repro.live.scalebench import (
+        append_trend_row,
+        check_scale_payload,
+        check_trend,
+        write_scale_bench,
+    )
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-scale-")
+    payload = write_scale_bench(
+        args.out,
+        workdir,
+        ns=tuple(args.ns),
+        jobs=args.jobs,
+        runner_jobs=args.runner_jobs,
+        budget_slots=args.budget_slots,
+    )
+    for name, s in payload["scenarios"].items():
+        print(f"{name}: {s.get('verdict')}")
+        if not s.get("ok"):
+            continue
+        print(
+            f"  piggyback {s['full_json_bytes_per_msg']} B/msg full-JSON "
+            f"vs {s['delta_bytes_per_msg']} B/msg delta "
+            f"({s['clocks_sent']} clocks)"
+        )
+        print(
+            f"  {s['deliveries']} deliveries "
+            f"({s['deliveries_per_second']}/s active; "
+            f"{s['fsyncs_per_delivery']} fsyncs/delivery; "
+            f"{s['wall_seconds']}s wall)"
+        )
+    growth = payload["growth"]
+    print(
+        f"growth exponent           : "
+        f"full-JSON {growth['full_json_exponent']}, "
+        f"delta {growth['delta_exponent']} "
+        f"(gate <= {args.max_exponent})"
+    )
+    print(f"written: {args.out}")
+
+    problems = check_scale_payload(payload, max_exponent=args.max_exponent)
+    if args.trend_file:
+        if args.check_trend:
+            problems.extend(check_trend(args.trend_file, payload))
+        append_trend_row(args.trend_file, payload)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    return 1 if problems else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the sharded KV service and run it for --run-seconds."""
     import tempfile
@@ -924,6 +979,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_out(exec_bench, "BENCH_exec.json")
     exec_bench.add_argument("--min-speedup", type=float, default=None,
                             help="fail unless speedup reaches this floor")
+    exec_bench.add_argument("--budget-slots", type=_positive_int,
+                            default=None,
+                            help="run the parallel leg under a "
+                                 "ProcessBudget of this many slots "
+                                 "(default: unlimited admission)")
     exec_bench.set_defaults(func=cmd_exec_bench)
 
     overhead = sub.add_parser("overhead",
@@ -1030,6 +1090,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fail if peak throughput collapses vs the "
                            "trend file's best recorded row")
     load.set_defaults(func=cmd_load)
+
+    scale = sub.add_parser(
+        "scale-bench",
+        help="piggyback scale sweep n=4..64 over live clusters "
+             "(BENCH_scale.json)",
+    )
+    scale.add_argument("--ns", type=_positive_int, nargs="+",
+                       default=[4, 8, 16, 32, 64],
+                       help="cluster sizes to sweep")
+    scale.add_argument("--jobs", type=_positive_int, default=12,
+                       help="pipeline jobs per scenario (fixed across n)")
+    scale.add_argument("--runner-jobs", type=_positive_int, default=2,
+                       help="exec-engine workers driving the scenarios")
+    scale.add_argument("--budget-slots", type=_positive_int, default=None,
+                       help="ProcessBudget slots; each scenario weighs "
+                            "n+1 (default: one slot per CPU)")
+    scale.add_argument("--max-exponent", type=float, default=1.3,
+                       help="fail if a fitted bytes/msg growth exponent "
+                            "exceeds this (the O(n) gate)")
+    _add_out(scale, "BENCH_scale.json")
+    _add_workdir(scale)
+    scale.add_argument("--trend-file", default=None, metavar="JSONL",
+                       help="append a one-line trend row after the sweep")
+    scale.add_argument("--check-trend", action="store_true",
+                       help="fail if delta piggyback regresses vs the "
+                            "trend file's best recorded rows")
+    scale.set_defaults(func=cmd_scale_bench)
 
     serve = sub.add_parser(
         "serve",

@@ -26,7 +26,7 @@ serial-vs-parallel speedup on a seed block and writes ``BENCH_exec.json``.
 from typing import Any
 
 from repro.exec.cache import ResultCache
-from repro.exec.runner import ParallelRunner
+from repro.exec.runner import ParallelRunner, ProcessBudget
 from repro.exec.tasks import (
     Task,
     TaskOutcome,
@@ -38,6 +38,7 @@ from repro.exec.tasks import (
 __all__ = [
     "ExecBenchResult",
     "ParallelRunner",
+    "ProcessBudget",
     "ResultCache",
     "Task",
     "TaskOutcome",

@@ -43,6 +43,9 @@ class ExecBenchResult:
     mismatched_seeds: list[int] = field(default_factory=list)
     failures: int = 0
     cpu_count: int = 1
+    # ProcessBudget slots the parallel leg ran under (None = unlimited
+    # admission, the pre-budget behaviour).
+    budget_slots: int | None = None
 
     @property
     def speedup(self) -> float:
@@ -64,6 +67,7 @@ class ExecBenchResult:
             "mismatched_seeds": list(self.mismatched_seeds),
             "failures": self.failures,
             "cpu_count": self.cpu_count,
+            "budget_slots": self.budget_slots,
         }
 
     def summary(self) -> str:
@@ -78,13 +82,22 @@ class ExecBenchResult:
             f"{self.base_seed + self.schedules - 1})\n"
             f"  serial   (jobs=1): {self.serial_wall_s:.2f}s\n"
             f"  parallel (jobs={self.jobs}): {self.parallel_wall_s:.2f}s\n"
-            f"  speedup: {self.speedup:.2f}x on {self.cpu_count} CPU(s)\n"
-            f"  {verdict}, {self.failures} failing schedule(s)"
+            f"  speedup: {self.speedup:.2f}x on {self.cpu_count} CPU(s)"
+            + (
+                f" (budget {self.budget_slots} slots)\n"
+                if self.budget_slots
+                else "\n"
+            )
+            + f"  {verdict}, {self.failures} failing schedule(s)"
         )
 
 
 def _collecting_sweep(
-    schedules: int, base_seed: int, profile: StressProfile, jobs: int
+    schedules: int,
+    base_seed: int,
+    profile: StressProfile,
+    jobs: int,
+    budget_slots: int | None = None,
 ) -> tuple[list[CaseResult], float]:
     """Run a sweep capturing *every* per-seed result, not just failures.
 
@@ -104,6 +117,7 @@ def _collecting_sweep(
         profile=profile,
         shrink=False,
         jobs=jobs,
+        budget_slots=budget_slots,
         progress=collect,
     )
     wall_s = perf_counter() - started
@@ -116,8 +130,17 @@ def run_exec_bench(
     jobs: int = 4,
     profile: StressProfile | str = "quick",
     base_seed: int = 0,
+    budget_slots: int | None = None,
 ) -> ExecBenchResult:
-    """Measure serial vs parallel over one seed block; verify equivalence."""
+    """Measure serial vs parallel over one seed block; verify equivalence.
+
+    ``budget_slots`` puts the parallel leg under a
+    :class:`~repro.exec.runner.ProcessBudget` (admission-controlled
+    scheduling); ``None`` keeps unlimited admission.  Stress cases weigh
+    one slot each, so a budget of at least ``jobs`` changes nothing and a
+    smaller one caps effective concurrency -- either way the results must
+    stay bit-identical to serial.
+    """
     if isinstance(profile, str):
         profile = PROFILES[profile]
     if jobs < 2:
@@ -127,7 +150,7 @@ def run_exec_bench(
         schedules, base_seed, profile, jobs=1
     )
     parallel, parallel_wall_s = _collecting_sweep(
-        schedules, base_seed, profile, jobs=jobs
+        schedules, base_seed, profile, jobs=jobs, budget_slots=budget_slots
     )
 
     mismatched = [
@@ -146,6 +169,7 @@ def run_exec_bench(
         mismatched_seeds=mismatched,
         failures=sum(1 for s in serial if s.failed),
         cpu_count=os.cpu_count() or 1,
+        budget_slots=budget_slots,
     )
 
 

@@ -32,13 +32,55 @@ class LiveTrace:
 
     Each line is ``{"t": float, "kind": str, "pid": int, "fields": {...}}``
     with fields passed through the wire codec (clocks and dataclasses
-    survive the round trip).  Lines are flushed per record so a SIGKILL
-    loses at most the line being written.
+    survive the round trip).
+
+    Writes are **batched**: records accumulate in a user-space buffer and
+    reach the file in groups of at most ``buffer_records`` lines or after
+    ``buffer_seconds``, whichever comes first (one ``write`` + ``flush``
+    per group instead of one per record -- the per-record flush used to be
+    ~9 writes per pipeline job, the hottest syscall on the delivery path).
+
+    The bounded-loss rule that keeps the grading oracle's ground truth
+    intact under SIGKILL:
+
+    - a SIGKILL loses **at most the unflushed buffer** -- and the node
+      wires :meth:`flush` as the storage's ``pre_persist_hook``, so the
+      buffer is forced out *before every stable-storage sync barrier*.
+      Any trace record describing an event whose effects became durable
+      (an OUTPUT whose log entry was flushed and will therefore be
+      replayed with emission suppressed, a TOKEN_SEND whose token was
+      logged) is on disk before the barrier that made the effect durable;
+    - records that die in the buffer describe only volatile state the
+      protocol itself lost in the same crash -- state it regenerates from
+      scratch (and re-records) after the restart, exactly as if the event
+      had never happened;
+    - :meth:`close` flushes, so a clean shutdown loses nothing.
+
+    ``buffer_records=1`` restores the old flush-per-record behaviour.
+    Without a running event loop (synchronous tests) there is nothing to
+    fire the timer, so records flush immediately -- same observable
+    behaviour as before.
     """
 
-    def __init__(self, fh: IO[str]) -> None:
+    def __init__(
+        self,
+        fh: IO[str],
+        *,
+        buffer_records: int = 64,
+        buffer_seconds: float = 0.05,
+    ) -> None:
+        if buffer_records < 1:
+            raise ValueError(
+                f"buffer_records must be >= 1, got {buffer_records}"
+            )
         self._fh = fh
+        self.buffer_records = buffer_records
+        self.buffer_seconds = buffer_seconds
+        self._buffer: list[str] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
         self.records_written = 0
+        self.flushes = 0                    # grouped writes that hit the file
+        self.records_buffered_max = 0       # high-water mark of the buffer
 
     def record(
         self, time_: float, kind: EventKind, pid: int, **fields: Any
@@ -49,11 +91,49 @@ class LiveTrace:
             "pid": pid,
             "fields": {k: codec.encode(v) for k, v in fields.items()},
         }
-        self._fh.write(json.dumps(line, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        self._buffer.append(json.dumps(line, separators=(",", ":")) + "\n")
         self.records_written += 1
+        if len(self._buffer) > self.records_buffered_max:
+            self.records_buffered_max = len(self._buffer)
+        if len(self._buffer) >= self.buffer_records:
+            self.flush()
+            return
+        if self._flush_handle is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                # No event loop to fire the timer: flush now so records
+                # can never sit in the buffer indefinitely.
+                self.flush()
+                return
+            self._flush_handle = loop.call_later(
+                self.buffer_seconds, self._timer_fire
+            )
+
+    def _timer_fire(self) -> None:
+        self._flush_handle = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered records out now (one write, one flush).
+
+        Safe to call with an empty buffer (no-op, not counted).  This is
+        the method the live node installs as the stable storage's
+        ``pre_persist_hook``: ordering the trace write *before* the
+        storage barrier is what bounds SIGKILL loss to volatile state.
+        """
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._buffer:
+            return
+        pending, self._buffer = self._buffer, []
+        self._fh.write("".join(pending))
+        self._fh.flush()
+        self.flushes += 1
 
     def close(self) -> None:
+        self.flush()
         self._fh.close()
 
 

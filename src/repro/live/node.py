@@ -145,9 +145,28 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
     # Phase 2: the epoch exists once the whole mesh is up.  Messages
     # arriving in the meantime are buffered by the transport and drained
     # only after on_start/on_restart has run (attach defers the drain).
-    epoch, mono_anchor = await _await_epoch(cfg["epoch_path"])
+    # The timeout scales with n via the config: booting a 64-node mesh
+    # serialises ~65 interpreter starts on small machines, which can
+    # exceed the old fixed 30 s before the last port accepts.
+    epoch, mono_anchor = await _await_epoch(
+        cfg["epoch_path"], timeout=float(cfg.get("epoch_timeout", 30.0))
+    )
 
-    trace = LiveTrace(open(cfg["trace_path"], "a", encoding="utf-8"))
+    trace = LiveTrace(
+        open(cfg["trace_path"], "a", encoding="utf-8"),
+        buffer_records=int(cfg.get("trace_buffer_records", 64)),
+        buffer_seconds=float(cfg.get("trace_buffer_seconds", 0.05)),
+    )
+    # Flush-before-barrier rule: the trace buffer hits the file before
+    # every stable-storage persist, so any record describing a durable
+    # effect is on disk no later than the barrier that made the effect
+    # durable.  See LiveTrace's bounded-loss rule.
+    storage.pre_persist_hook = trace.flush
+    tracer = None
+    if cfg.get("obs"):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
     env = LiveEnv(
         pid=pid,
         n=int(cfg["n"]),
@@ -156,8 +175,11 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
         epoch=epoch,
         crash_count=boot - 1,
         trace=trace,
+        tracer=tracer,
         mono_anchor=mono_anchor,
     )
+    if tracer is not None:
+        tracer.bind_clock(lambda: env.now)
     # Arm the fault schedule on the shared epoch clock -- the same clock
     # the supervisor schedules SIGKILLs on, so fault windows and crash
     # times compose on one timeline.
@@ -255,7 +277,13 @@ async def run_node(cfg: dict[str, Any]) -> dict[str, Any]:
             "aborted": storage.intents_aborted,
         },
         "trace_records": trace.records_written,
+        "trace_flushes": trace.flushes,
+        "trace_records_buffered_max": trace.records_buffered_max,
+        "delivery_batches": transport.delivery_batches,
+        "delivery_batch_max": transport.delivery_batch_max,
     }
+    if tracer is not None:
+        done["obs"] = {"counters": dict(tracer.counters)}
     if source is not None:
         done["load"] = source.report()
     if service is not None:

@@ -128,6 +128,13 @@ class FileStableStorage(StableStorage):
         # raise for window-triggered flushes -- which must then leave the
         # dirty flag set and the flush window re-armed (the retry path).
         self.fault_hook: Callable[..., None] | None = None
+        # Optional flush-before-barrier hook (LiveTrace.flush): called
+        # before every durable image write.  Anything that must be on
+        # disk no later than this storage barrier -- the batched trace
+        # buffer -- hangs off this hook.  Must not raise on the happy
+        # path; if it does, the persist is aborted and retried exactly
+        # like a fault_hook failure.
+        self.pre_persist_hook: Callable[[], None] | None = None
         self._dirty = False
         self._flush_handle: asyncio.TimerHandle | None = None
         self._loading = True
@@ -257,6 +264,8 @@ class FileStableStorage(StableStorage):
             self._flush_handle = None
         tmp = f"{self.path}.tmp"
         try:
+            if self.pre_persist_hook is not None:
+                self.pre_persist_hook()
             if self.fault_hook is not None:
                 self.fault_hook(window=window)
             with open(tmp, "wb") as fh:

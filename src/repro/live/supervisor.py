@@ -111,6 +111,15 @@ class LiveClusterSpec:
     gossip_interval: float = 0.5
     enable_gc: bool = False
     compact_history: bool = False
+    # Per-process observability: each node builds a live Tracer, the
+    # protocol layers report into it (dg.wire_* counters among others),
+    # and the counters land in the done report under "obs".  Off by
+    # default -- the tracer never feeds back into protocol logic, but
+    # the counters cost real work on the hot path.
+    obs: bool = False
+    # LiveTrace write batching: records per group flush and the age cap.
+    trace_buffer_records: int = 64
+    trace_buffer_seconds: float = 0.05
 
     def protocol_config(self) -> dict[str, Any]:
         return {
@@ -252,6 +261,13 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
             "config": spec.protocol_config(),
             "wire_format": spec.wire_format,
             "storage_flush_window": spec.storage_flush_window,
+            "obs": spec.obs,
+            "trace_buffer_records": spec.trace_buffer_records,
+            "trace_buffer_seconds": spec.trace_buffer_seconds,
+            # Booting an n-node mesh serialises ~n interpreter starts on
+            # small machines; give the barrier headroom that grows with
+            # the cluster instead of a one-size 30 s.
+            "epoch_timeout": 30.0 + spec.n,
             "faults": spec.faults.for_node(pid, spec.n),
             "data_dir": data_dir,
             "trace_path": os.path.join(workdir, f"trace_p{pid}.jsonl"),
@@ -293,8 +309,9 @@ def run_cluster(spec: LiveClusterSpec, workdir: str) -> LiveRunResult:
 
     # Readiness barrier: every node has durably recorded its boot and
     # bound its port before env-time starts, so the crash schedule below
-    # can never land on a half-started interpreter.
-    _await_ports(ports, spec.host, procs)
+    # can never land on a half-started interpreter.  Timeout scales with
+    # n for the same reason as the nodes' epoch_timeout.
+    _await_ports(ports, spec.host, procs, timeout=30.0 + spec.n)
     # The epoch is *now*, not a point in the future: nodes observe the
     # file strictly after this instant, so env-time is non-negative on
     # every process.  (The old ``time.time() + 0.1`` pre-dated publish by

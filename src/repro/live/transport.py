@@ -107,6 +107,7 @@ class MeshTransport:
         self.faults = faults
         self._protocol: Any | None = None
         self._undelivered: list[NetworkMessage] = []
+        self._self_pending: list[NetworkMessage] = []
         self._outbox: dict[int, list[tuple[int, NetworkMessage]]] = {
             dst: [] for dst in range(n) if dst != pid
         }
@@ -124,6 +125,8 @@ class MeshTransport:
         self.delivered_count = 0
         self.retransmit_count = 0
         self.deliver_errors = 0
+        self.delivery_batches = 0     # grouped apply rounds (see _deliver_batch)
+        self.delivery_batch_max = 0   # largest single batch applied
         self.bytes_sent = 0           # framed bytes written (data + acks)
         self.bytes_received = 0       # framed bytes read (data + acks)
         self.data_frames_sent = 0
@@ -211,8 +214,7 @@ class MeshTransport:
 
     def _drain_undelivered(self) -> None:
         pending, self._undelivered = self._undelivered, []
-        for msg in pending:
-            self._deliver(msg)
+        self._deliver_batch(pending)
 
     @property
     def unacked(self) -> int:
@@ -225,7 +227,12 @@ class MeshTransport:
     def send(self, dst: int, msg: NetworkMessage) -> None:
         """Queue ``msg`` for ``dst``; delivery is asynchronous."""
         if dst == self.pid:
-            asyncio.get_running_loop().call_soon(self._deliver, msg)
+            # Self-sends from one synchronous burst coalesce into a
+            # single deferred drain: one event-loop callback applies the
+            # whole FIFO batch instead of one callback per message.
+            self._self_pending.append(msg)
+            if len(self._self_pending) == 1:
+                asyncio.get_running_loop().call_soon(self._drain_self_sends)
             return
         seq = self._next_seq[dst]
         self._next_seq[dst] = seq + 1
@@ -432,8 +439,15 @@ class MeshTransport:
                 batch = await buffered.read_batch()
                 if batch is None:
                     return
-                ack_seq: int | None = None
-                ack_binary = False
+                # Pass 1: decode every frame in the read batch --
+                # duplicates included -- BEFORE touching the dedup
+                # cursor.  The decoder's delta chain must advance in
+                # lockstep with the sender's encoder, and a decode error
+                # anywhere in the batch must drop the connection with the
+                # cursor untouched so the retransmits get another chance.
+                # (Advancing the cursor first would let a mid-batch
+                # decode error permanently swallow the undelivered tail.)
+                decoded: list[tuple[int, NetworkMessage, bool]] = []
                 for data in batch:
                     self.bytes_received += len(data) + OVERHEAD
                     if key is None:
@@ -452,12 +466,6 @@ class MeshTransport:
                         _dbg(f"p{self.pid} accepted connection from {key}")
                         continue
                     binary = wire.is_binary(data)
-                    # Decode every frame -- duplicates included -- BEFORE
-                    # touching the dedup cursor.  The decoder's delta
-                    # chain must advance in lockstep with the sender's
-                    # encoder, and a decode error must drop the
-                    # connection with the cursor untouched so the
-                    # retransmit gets another chance.
                     if binary:
                         if wire.frame_type(data) != wire.FRAME_DATA:
                             raise FramingError(
@@ -472,26 +480,33 @@ class MeshTransport:
                         raise FramingError(
                             f"frame is not a NetworkMessage: {msg!r}"
                         )
+                    decoded.append((seq, msg, binary))
+                if not decoded:
+                    continue
+                # Pass 2: advance the dedup cursor and collect the fresh
+                # deliveries, then apply the whole batch in one tick
+                # (FIFO, no per-message event-loop round trip).
+                ready: list[NetworkMessage] = []
+                for seq, msg, _ in decoded:
                     if seq > self._seen.get(key, 0):
                         self._seen[key] = seq
-                        self._deliver(msg)
+                        ready.append(msg)
                     else:
                         _dbg(f"p{self.pid} dedup drop {key} seq={seq} "
                              f"(seen={self._seen.get(key)})")
-                    ack_seq = seq
-                    ack_binary = binary
+                self._deliver_batch(ready)
                 # Per-link seqs are strictly increasing on a connection,
                 # and the sender prunes cumulatively -- so a batch of
                 # data frames needs exactly one ack (the last seq), one
                 # write and one drain, not one round per frame.
-                if ack_seq is not None:
-                    ack = (
-                        wire.ack_frame(ack_seq)
-                        if ack_binary
-                        else json.dumps({"ack": ack_seq}).encode("utf-8")
-                    )
-                    await write_frame(writer, ack)
-                    self.bytes_sent += len(ack) + OVERHEAD
+                ack_seq, _, ack_binary = decoded[-1]
+                ack = (
+                    wire.ack_frame(ack_seq)
+                    if ack_binary
+                    else json.dumps({"ack": ack_seq}).encode("utf-8")
+                )
+                await write_frame(writer, ack)
+                self.bytes_sent += len(ack) + OVERHEAD
         except (ConnectionError, OSError, FramingError):
             pass
         except asyncio.CancelledError:
@@ -508,6 +523,26 @@ class MeshTransport:
             writer.close()
             with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
+
+    def _drain_self_sends(self) -> None:
+        pending, self._self_pending = self._self_pending, []
+        self._deliver_batch(pending)
+
+    def _deliver_batch(self, msgs: list[NetworkMessage]) -> None:
+        """Apply a batch of ready deliveries in FIFO order, one tick.
+
+        This is the delivery-batching hot path: all app messages that
+        arrived in one read batch (or one self-send burst) hit the
+        protocol back to back inside a single event-loop callback,
+        instead of costing a loop iteration each.
+        """
+        if not msgs:
+            return
+        self.delivery_batches += 1
+        if len(msgs) > self.delivery_batch_max:
+            self.delivery_batch_max = len(msgs)
+        for msg in msgs:
+            self._deliver(msg)
 
     def _deliver(self, msg: NetworkMessage) -> None:
         if self._protocol is None:

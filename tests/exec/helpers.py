@@ -26,3 +26,23 @@ def die_if_victim(payload):
     if payload["x"] == payload["victim"]:
         os._exit(43)
     return payload["x"] * 10
+
+
+def occupy(payload):
+    """Concurrency probe for the admission tests: hold a marker file for
+    a moment and report the peak number of markers seen at once."""
+    import glob
+    import time
+
+    marker = os.path.join(payload["dir"], f"marker_{payload['x']}")
+    with open(marker, "w") as fh:
+        fh.write("x")
+    peak = 0
+    deadline = time.monotonic() + payload.get("hold", 0.25)
+    while time.monotonic() < deadline:
+        peak = max(
+            peak, len(glob.glob(os.path.join(payload["dir"], "marker_*")))
+        )
+        time.sleep(0.02)
+    os.remove(marker)
+    return peak

@@ -1,0 +1,123 @@
+"""ProcessBudget admission: slot weights, caps, release on every exit path.
+
+The budget exists for multi-process tasks (a live n-node cluster is an
+``n + 1``-process job): the runner may only have ``budget.slots`` worth
+of task weight admitted at once, in submission order, with slots handed
+back whenever a task resolves -- done, failed, or crashed.  Concurrency
+is observed from inside the tasks with marker files, so these tests
+measure what actually overlapped, not what the scheduler intended.
+"""
+
+import pytest
+
+from repro.exec.runner import ParallelRunner, ProcessBudget
+from repro.exec.tasks import Task, task_key
+
+
+def _occupiers(count, tmp_path, *, slots=1, hold=0.25):
+    return [
+        Task(
+            fn="tests.exec.helpers:occupy",
+            payload={"x": i, "dir": str(tmp_path), "hold": hold},
+            label=f"occ{i}",
+            slots=slots,
+        )
+        for i in range(count)
+    ]
+
+
+class TestProcessBudget:
+    def test_slots_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProcessBudget(0)
+        with pytest.raises(ValueError):
+            ProcessBudget(-3)
+
+    def test_default_sizes_to_the_machine(self):
+        assert ProcessBudget.default().slots >= 1
+
+    def test_task_slots_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Task(fn="tests.exec.helpers:square", payload={"x": 1}, slots=0)
+
+    def test_slots_do_not_affect_the_cache_key(self):
+        # Slots are a scheduling weight, not part of the computation:
+        # cached results must survive budget tuning.
+        light = Task(fn="tests.exec.helpers:square", payload={"x": 1},
+                     slots=1)
+        heavy = Task(fn="tests.exec.helpers:square", payload={"x": 1},
+                     slots=65)
+        assert task_key(light) == task_key(heavy)
+
+
+class TestAdmission:
+    def test_weighted_tasks_serialise_when_two_exceed_budget(self, tmp_path):
+        # 2 + 2 > 3: tasks run strictly one at a time even though four
+        # workers are available.
+        runner = ParallelRunner(jobs=4, budget=ProcessBudget(3))
+        outcomes = runner.map(_occupiers(4, tmp_path, slots=2))
+        assert all(o.ok for o in outcomes)
+        assert max(o.value for o in outcomes) == 1
+
+    def test_unit_tasks_respect_the_slot_cap(self, tmp_path):
+        runner = ParallelRunner(jobs=4, budget=ProcessBudget(2))
+        outcomes = runner.map(_occupiers(6, tmp_path, slots=1))
+        assert all(o.ok for o in outcomes)
+        assert max(o.value for o in outcomes) <= 2
+
+    def test_oversized_task_is_admitted_alone(self, tmp_path):
+        # A 10-slot task against a 4-slot budget must still run (progress
+        # beats strictness) -- but with the budget to itself.
+        tasks = _occupiers(3, tmp_path, slots=1)
+        tasks[1] = Task(
+            fn="tests.exec.helpers:occupy",
+            payload={"x": 1, "dir": str(tmp_path), "hold": 0.25},
+            label="huge",
+            slots=10,
+        )
+        runner = ParallelRunner(jobs=3, budget=ProcessBudget(4))
+        outcomes = runner.map(tasks)
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].value == 1, "oversized task overlapped a peer"
+
+    def test_results_match_the_unbudgeted_pool(self):
+        tasks = [
+            Task(fn="tests.exec.helpers:square", payload={"x": i},
+                 slots=1 + i % 3)
+            for i in range(8)
+        ]
+        budgeted = ParallelRunner(jobs=3, budget=ProcessBudget(2)).map(tasks)
+        plain = ParallelRunner(jobs=3).map(tasks)
+        assert [o.value for o in budgeted] == [o.value for o in plain]
+        assert [o.index for o in budgeted] == list(range(8))
+
+    def test_crashed_task_releases_its_slots(self):
+        # If the crash path leaked slots, task 2 could never be admitted
+        # (2 + 2 > 2) and this test would hang instead of passing.
+        tasks = [
+            Task(
+                fn="tests.exec.helpers:die_if_victim",
+                payload={"x": i, "victim": 1},
+                slots=2,
+            )
+            for i in range(3)
+        ]
+        outcomes = ParallelRunner(jobs=2, budget=ProcessBudget(2)).map(tasks)
+        assert [o.crashed for o in outcomes] == [False, True, False]
+        assert outcomes[0].value == 0 and outcomes[2].value == 20
+
+    def test_failed_task_releases_its_slots(self):
+        tasks = [
+            Task(fn="tests.exec.helpers:boom", payload={"x": i}, slots=2)
+            for i in range(3)
+        ]
+        outcomes = ParallelRunner(jobs=2, budget=ProcessBudget(2)).map(tasks)
+        assert all(o.error is not None and not o.crashed for o in outcomes)
+
+    def test_budget_is_inert_on_the_inline_path(self):
+        tasks = [
+            Task(fn="tests.exec.helpers:square", payload={"x": i}, slots=5)
+            for i in range(4)
+        ]
+        outcomes = ParallelRunner(jobs=1, budget=ProcessBudget(2)).map(tasks)
+        assert [o.value for o in outcomes] == [0, 1, 4, 9]

@@ -27,8 +27,8 @@ CLI_SURFACE = {
     "stress": ["--cache-dir", "--fail-fast", "--help", "--jobs", "--live",
                "--no-shrink", "--out-dir", "--profile", "--quiet", "--replay",
                "--schedules", "--seed", "-h"],
-    "exec-bench": ["--help", "--jobs", "--min-speedup", "--out", "--profile",
-                   "--schedules", "--seed", "-h"],
+    "exec-bench": ["--budget-slots", "--help", "--jobs", "--min-speedup",
+                   "--out", "--profile", "--schedules", "--seed", "-h"],
     "overhead": ["--crash", "--help", "--horizon", "--seed", "-h", "-n"],
     "live": ["--crash-at", "--crash-pid", "--downtime", "--fault-seed",
              "--faults", "--help", "--jobs", "--no-crash", "--run-seconds",
@@ -43,6 +43,9 @@ CLI_SURFACE = {
     "load": ["--check-trend", "--duration", "--help",
              "--min-deliveries-per-sec", "--out", "--rates", "--start-at",
              "--trend-file", "--workdir", "-h", "-n"],
+    "scale-bench": ["--budget-slots", "--check-trend", "--help", "--jobs",
+                    "--max-exponent", "--ns", "--out", "--runner-jobs",
+                    "--trend-file", "--workdir", "-h"],
     "serve": ["--crash-at", "--downtime", "--fault-seed", "--help",
               "--no-crash", "--nodes-per-shard", "--run-seconds", "--shards",
               "--workdir", "-h"],
